@@ -1,0 +1,100 @@
+//! One Criterion bench per evaluation figure: each measures the full
+//! regeneration of that figure's experiment (all workloads × configs ×
+//! schedulers × both core orders, plus memoised baselines) at a reduced
+//! workload scale, on a fresh harness per iteration so nothing is cached
+//! across measurements.
+//!
+//! The `repro` binary produces the full-scale numbers; these benches track
+//! the cost and act as end-to-end regressions over the whole pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use colab::experiments;
+use colab_bench::harness_at;
+
+/// Workload scale for benchmarking: large enough to exercise many 10 ms
+/// scheduler ticks, small enough for tight iteration.
+const SCALE: f64 = 0.25;
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4_single_program", |b| {
+        b.iter(|| {
+            let mut h = harness_at(SCALE, false);
+            let fig = experiments::figure4(&mut h).expect("figure 4 runs");
+            assert_eq!(fig.rows.len(), 12);
+            fig.geomean[2]
+        })
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5_sync_vs_nsync", |b| {
+        b.iter(|| {
+            let mut h = harness_at(SCALE, false);
+            let fig = experiments::figure5(&mut h).expect("figure 5 runs");
+            fig.groups[0].geomean.colab_antt
+        })
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig6_comm_vs_comp", |b| {
+        b.iter(|| {
+            let mut h = harness_at(SCALE, false);
+            let fig = experiments::figure6(&mut h).expect("figure 6 runs");
+            fig.groups[0].geomean.colab_antt
+        })
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("fig7_random_mix", |b| {
+        b.iter(|| {
+            let mut h = harness_at(SCALE, false);
+            let fig = experiments::figure7(&mut h).expect("figure 7 runs");
+            fig.groups[0].geomean.colab_antt
+        })
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    c.bench_function("fig8_thread_count", |b| {
+        b.iter(|| {
+            let mut h = harness_at(SCALE, false);
+            let fig = experiments::figure8(&mut h).expect("figure 8 runs");
+            fig.groups[1].geomean.colab_antt
+        })
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    c.bench_function("fig9_program_count", |b| {
+        b.iter(|| {
+            let mut h = harness_at(SCALE, false);
+            let fig = experiments::figure9(&mut h).expect("figure 9 runs");
+            fig.groups[0].geomean.colab_antt
+        })
+    });
+}
+
+fn bench_summary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("summary");
+    group.sample_size(10);
+    group.bench_function("all_312_experiments", |b| {
+        b.iter(|| {
+            let mut h = harness_at(SCALE, false);
+            let s = experiments::summary(&mut h).expect("summary runs");
+            assert_eq!(s.experiments, 312);
+            s.antt_vs_linux[1]
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig4, bench_fig5, bench_fig6, bench_fig7, bench_fig8,
+              bench_fig9, bench_summary
+}
+criterion_main!(figures);

@@ -1,0 +1,172 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--scale F] [--heuristic-model] [--table2|--table3|--table4]
+//!       [--fig4|--fig5|--fig6|--fig7|--fig8|--fig9] [--summary]
+//!       [--ablation] [--all]
+//! ```
+//!
+//! With no selection flags, `--all` is assumed. `--scale` shrinks the
+//! workloads (default 1.0, the calibrated full size); the shapes are
+//! stable down to about 0.25. `--heuristic-model` skips the offline
+//! training run and uses the analytic speedup model.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use colab::experiments;
+
+struct Options {
+    scale: f64,
+    train: bool,
+    replications: u32,
+    targets: Vec<String>,
+    csv_dir: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut scale = 1.0;
+    let mut train = true;
+    let mut targets = Vec::new();
+    let mut csv_dir = None;
+    let mut replications = 1u32;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--reps" => {
+                let value = args.next().ok_or("--reps needs a count")?;
+                replications = value
+                    .parse::<u32>()
+                    .map_err(|e| format!("bad --reps {value}: {e}"))?
+                    .max(1);
+            }
+            "--csv" => {
+                let dir = args.next().ok_or("--csv needs a directory")?;
+                csv_dir = Some(std::path::PathBuf::from(dir));
+            }
+            "--scale" => {
+                let value = args.next().ok_or("--scale needs a value")?;
+                scale = value
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --scale {value}: {e}"))?;
+                if !scale.is_finite() || scale <= 0.0 {
+                    return Err("--scale must be positive".into());
+                }
+            }
+            "--heuristic-model" => train = false,
+            "--all" => targets.push("all".into()),
+            flag if flag.starts_with("--") => targets.push(flag[2..].to_string()),
+            other => return Err(format!("unrecognized argument {other}")),
+        }
+    }
+    if targets.is_empty() && csv_dir.is_none() {
+        targets.push("all".into());
+    }
+    Ok(Options {
+        scale,
+        train,
+        replications,
+        targets,
+        csv_dir,
+    })
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let wants = |name: &str| {
+        options
+            .targets
+            .iter()
+            .any(|t| t == name || t == "all")
+    };
+
+    let start = Instant::now();
+    eprintln!(
+        "building harness (scale {}, {} model)...",
+        options.scale,
+        if options.train { "trained" } else { "heuristic" }
+    );
+    let mut harness = colab_bench::harness_with(options.scale, options.train, options.replications);
+    eprintln!("harness ready in {:.1?}", start.elapsed());
+
+    if wants("table2") {
+        println!("{}\n", experiments::table2(&harness));
+    }
+    if wants("table3") {
+        println!("{}", experiments::table3());
+    }
+    if wants("table4") {
+        println!("{}", experiments::table4());
+    }
+
+    macro_rules! figure {
+        ($name:literal, $f:path) => {
+            if wants($name) {
+                let t = Instant::now();
+                match $f(&mut harness) {
+                    Ok(result) => {
+                        println!("{result}");
+                        eprintln!("[{} done in {:.1?}]\n", $name, t.elapsed());
+                    }
+                    Err(e) => {
+                        eprintln!("error running {}: {e}", $name);
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        };
+    }
+    figure!("fig4", experiments::figure4);
+    figure!("fig5", experiments::figure5);
+    figure!("fig6", experiments::figure6);
+    figure!("fig7", experiments::figure7);
+    figure!("fig8", experiments::figure8);
+    figure!("fig9", experiments::figure9);
+    figure!("summary", experiments::summary);
+    figure!("ablation", experiments::ablation);
+    // Extensions beyond the paper (run with --energy / --table1 / --all).
+    figure!("energy", experiments::energy);
+    figure!("table1", experiments::table1_quantified);
+    figure!("sensitivity", experiments::sensitivity);
+    figure!("fairness", experiments::fairness);
+    figure!("freqsweep", experiments::frequency_sweep);
+    figure!("staggered", experiments::staggered);
+
+    if wants("check") {
+        match experiments::shape_check(&mut harness) {
+            Ok(report) => {
+                println!("{report}");
+                if !report.all_pass() {
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("error running shape check: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(dir) = &options.csv_dir {
+        match colab::report::write_all(&mut harness, dir) {
+            Ok(files) => eprintln!("wrote {} CSVs to {}", files.len(), dir.display()),
+            Err(e) => {
+                eprintln!("error writing CSVs: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    eprintln!(
+        "total: {:.1?}, {} cells evaluated",
+        start.elapsed(),
+        harness.cells_evaluated()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,89 @@
+//! Visualizes one workload's schedule as a per-core text timeline.
+//!
+//! ```text
+//! timeline [workload] [scheduler] [scale]
+//!   workload:  a Table 4 name (Sync-2, Rand-7, …) or a benchmark name
+//!              for single-program mode (default: ferret)
+//!   scheduler: linux | gts | wash | colab (default: colab)
+//!   scale:     workload scale factor (default: 0.25)
+//! ```
+//!
+//! Each row is a core; each letter is the thread running there (`A` =
+//! thread 0); `.` is idle time. The legend maps letters to thread roles
+//! and criticality.
+
+use amp_perf::SpeedupModel;
+use amp_sim::{SimParams, Simulation};
+use amp_types::{CoreOrder, MachineConfig};
+use amp_workloads::{BenchmarkId, PaperWorkload, Scale, WorkloadSpec};
+use colab::SchedulerKind;
+
+fn resolve_workload(name: &str) -> Option<WorkloadSpec> {
+    if let Some(w) = PaperWorkload::all().into_iter().find(|w| w.name() == name) {
+        return Some(w.spec());
+    }
+    BenchmarkId::ALL
+        .into_iter()
+        .find(|b| b.name() == name)
+        .map(|b| WorkloadSpec::single(b, b.clamp_threads(4)))
+}
+
+fn resolve_scheduler(name: &str) -> SchedulerKind {
+    SchedulerKind::EXTENDED
+        .into_iter()
+        .find(|k| k.name() == name)
+        .unwrap_or(SchedulerKind::Colab)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workload_name = args.first().map(String::as_str).unwrap_or("ferret");
+    let kind = resolve_scheduler(args.get(1).map(String::as_str).unwrap_or("colab"));
+    let scale: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.25);
+
+    let Some(spec) = resolve_workload(workload_name) else {
+        eprintln!("unknown workload {workload_name}; use a Table 4 name or a benchmark name");
+        std::process::exit(1);
+    };
+
+    let machine = MachineConfig::paper_2b2s(CoreOrder::BigFirst);
+    let params = SimParams {
+        trace_capacity: 1 << 18,
+        ..SimParams::default()
+    };
+    let apps = spec.instantiate(42, Scale::new(scale));
+    let sim = Simulation::from_apps_with_params(&machine, apps, 42, params)
+        .expect("workload builds");
+    let mut sched = kind.create(&machine, &SpeedupModel::heuristic());
+    let outcome = sim.run(sched.as_mut()).expect("simulation completes");
+
+    println!(
+        "{} under {} on {machine} — makespan {}, {} switches, {} migrations\n",
+        spec.name(),
+        outcome.scheduler,
+        outcome.makespan,
+        outcome.context_switches,
+        outcome.migrations
+    );
+    print!("{}", outcome.trace.gantt(&machine, outcome.makespan, 100));
+
+    println!("\nlegend (letter = thread, sorted by caused-wait):");
+    let mut by_wait: Vec<_> = outcome.threads.iter().collect();
+    by_wait.sort_by_key(|t| std::cmp::Reverse(t.caused_wait.as_nanos()));
+    for t in by_wait.iter().take(12) {
+        let letter = (b'A' + (t.id.index() % 26) as u8) as char;
+        println!(
+            "  {letter} {:<20} caused-wait {:>10}  big-share {:>4.2}",
+            t.name,
+            t.caused_wait.to_string(),
+            if t.run_time.as_nanos() > 0 {
+                t.big_time.as_secs_f64() / t.run_time.as_secs_f64()
+            } else {
+                0.0
+            }
+        );
+    }
+    if outcome.trace.dropped() > 0 {
+        println!("({} trace events dropped)", outcome.trace.dropped());
+    }
+}

@@ -1,0 +1,33 @@
+//! Shared helpers for the benches and the `repro` figure regenerator.
+
+#![warn(missing_docs)]
+
+use colab::{ExperimentConfig, Harness};
+use amp_workloads::Scale;
+
+/// Builds a harness at the given scale, optionally with the trained
+/// Table 2 model (the full pipeline) instead of the analytic heuristic.
+///
+/// # Panics
+///
+/// Panics if model training fails — that means a benchmark model is
+/// broken, which should fail loudly in benches.
+pub fn harness_at(scale: f64, train: bool) -> Harness {
+    harness_with(scale, train, 1)
+}
+
+/// Like [`harness_at`] with explicit replications per cell.
+///
+/// # Panics
+///
+/// Panics if model training fails.
+pub fn harness_with(scale: f64, train: bool, replications: u32) -> Harness {
+    let config = ExperimentConfig {
+        scale: Scale::new(scale),
+        seed: 42,
+        train_model: train,
+        replications,
+        ..ExperimentConfig::default()
+    };
+    Harness::new(config).expect("harness construction succeeds")
+}

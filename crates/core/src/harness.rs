@@ -1,0 +1,340 @@
+//! The experiment harness: scheduler factory, baseline cache, and the
+//! per-cell evaluation protocol of §5.1.
+
+use std::collections::HashMap;
+
+use amp_metrics::MixSummary;
+use amp_perf::SpeedupModel;
+use amp_sched::{
+    CfsScheduler, ColabScheduler, EqualProgressScheduler, GtsScheduler, Scheduler, WashScheduler,
+};
+use amp_sim::{SimParams, Simulation};
+use amp_types::{AppId, CoreOrder, MachineConfig, Result, SimDuration};
+use amp_workloads::{BenchmarkId, Scale, WorkloadSpec};
+
+use crate::training;
+
+/// The evaluated scheduling policies: the paper's three, plus ARM GTS
+/// (Table 1's remaining general-purpose comparator) as an extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// Default Linux CFS (the paper's `LINUX` bars).
+    Linux,
+    /// The WASH re-implementation.
+    Wash,
+    /// COLAB.
+    Colab,
+    /// ARM Global Task Scheduling (load-average affinity; extension).
+    Gts,
+    /// Equal-progress scheduling (Van Craeynest et al.; extension).
+    EqualProgress,
+}
+
+impl SchedulerKind {
+    /// The paper's three schedulers, in its bar order.
+    pub const ALL: [SchedulerKind; 3] = [
+        SchedulerKind::Linux,
+        SchedulerKind::Wash,
+        SchedulerKind::Colab,
+    ];
+
+    /// The paper's three plus the GTS extension.
+    pub const EXTENDED: [SchedulerKind; 4] = [
+        SchedulerKind::Linux,
+        SchedulerKind::Gts,
+        SchedulerKind::Wash,
+        SchedulerKind::Colab,
+    ];
+
+    /// Display name, matching the figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Linux => "linux",
+            SchedulerKind::Wash => "wash",
+            SchedulerKind::Colab => "colab",
+            SchedulerKind::Gts => "gts",
+            SchedulerKind::EqualProgress => "equal-progress",
+        }
+    }
+
+    /// Instantiates the policy for a machine.
+    pub fn create(self, machine: &MachineConfig, model: &SpeedupModel) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::Linux => Box::new(CfsScheduler::new(machine)),
+            SchedulerKind::Wash => Box::new(WashScheduler::new(machine, model.clone())),
+            SchedulerKind::Colab => Box::new(ColabScheduler::new(machine, model.clone())),
+            SchedulerKind::Gts => Box::new(GtsScheduler::new(machine)),
+            SchedulerKind::EqualProgress => {
+                Box::new(EqualProgressScheduler::new(machine, model.clone()))
+            }
+        }
+    }
+}
+
+/// Configuration of an experiment sweep.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Workload size scale (1.0 = the calibrated full size).
+    pub scale: Scale,
+    /// Master seed; workload materialization and PMU noise derive from it.
+    pub seed: u64,
+    /// Train the Table 2 model offline (`true`, the paper's pipeline) or
+    /// use the analytic heuristic model (`false`, much faster start-up —
+    /// for tests).
+    pub train_model: bool,
+    /// Independent replications per cell: each replication uses a derived
+    /// seed (different workload jitter and PMU noise) and itself averages
+    /// the two core orders. 1 reproduces the paper's protocol exactly.
+    pub replications: u32,
+    /// Simulator cost parameters.
+    pub sim_params: SimParams,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            scale: Scale::default(),
+            seed: 42,
+            train_model: true,
+            replications: 1,
+            sim_params: SimParams::default(),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A fast configuration for tests: shrunk workloads, heuristic model.
+    pub fn quick() -> ExperimentConfig {
+        ExperimentConfig {
+            scale: Scale::quick(),
+            seed: 42,
+            train_model: false,
+            replications: 1,
+            sim_params: SimParams::default(),
+        }
+    }
+}
+
+/// Key of a memoized experiment cell.
+type CellKey = (String, String, &'static str);
+
+/// The evaluation harness: owns the trained model and memoizes isolated
+/// baselines and experiment cells so the figures can share the same
+/// 312-run sweep.
+pub struct Harness {
+    config: ExperimentConfig,
+    model: SpeedupModel,
+    /// `(workload name, total cores) → per-app T_SB`.
+    baselines: HashMap<(String, usize), Vec<SimDuration>>,
+    /// Memoized `(workload, config, scheduler) → summary`.
+    cells: HashMap<CellKey, MixSummary>,
+}
+
+impl Harness {
+    /// Creates the harness, training the speedup model if configured.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures.
+    pub fn new(config: ExperimentConfig) -> Result<Harness> {
+        let model = if config.train_model {
+            training::train_model(4, config.seed, config.scale)?
+        } else {
+            SpeedupModel::heuristic()
+        };
+        Ok(Harness {
+            config,
+            model,
+            baselines: HashMap::new(),
+            cells: HashMap::new(),
+        })
+    }
+
+    /// The speedup model in use.
+    pub fn model(&self) -> &SpeedupModel {
+        &self.model
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Seed for replication `rep` (replication 0 is the master seed, so
+    /// `replications == 1` reproduces the paper's protocol bit-for-bit).
+    fn rep_seed(&self, rep: u32) -> u64 {
+        self.config
+            .seed
+            .wrapping_add(u64::from(rep).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Isolated big-only baselines `T_SB` for every app of a workload, on
+    /// an all-big machine with `total_cores` cores. Memoized.
+    fn baselines(&mut self, workload: &WorkloadSpec, total_cores: usize) -> Result<Vec<SimDuration>> {
+        let key = (workload.name().to_string(), total_cores);
+        if let Some(b) = self.baselines.get(&key) {
+            return Ok(b.clone());
+        }
+        let machine = MachineConfig::all_big(total_cores);
+        let reps = self.config.replications.max(1);
+        let mut t_sb = vec![SimDuration::ZERO; workload.num_apps()];
+        for rep in 0..reps {
+            let seed = self.rep_seed(rep);
+            let apps = workload.instantiate(seed, self.config.scale);
+            for (slot, app) in t_sb.iter_mut().zip(apps) {
+                let sim = Simulation::from_apps_with_params(
+                    &machine,
+                    vec![app],
+                    seed,
+                    self.config.sim_params,
+                )?;
+                let outcome = sim.run(&mut CfsScheduler::new(&machine))?;
+                *slot += outcome.turnaround(AppId::new(0));
+            }
+        }
+        for slot in &mut t_sb {
+            *slot = *slot / u64::from(reps);
+        }
+        self.baselines.insert(key, t_sb.clone());
+        Ok(t_sb)
+    }
+
+    /// Evaluates one experiment cell: `workload` on a `big`×`little`
+    /// machine under `kind`, run once per core-enumeration order and
+    /// averaged (§5.1). Memoized across figures.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn mix(
+        &mut self,
+        workload: &WorkloadSpec,
+        big: usize,
+        little: usize,
+        kind: SchedulerKind,
+    ) -> Result<MixSummary> {
+        let config_label = MachineConfig::asymmetric(big, little, CoreOrder::BigFirst).label();
+        let key: CellKey = (
+            workload.name().to_string(),
+            config_label.clone(),
+            kind.name(),
+        );
+        if let Some(cell) = self.cells.get(&key) {
+            return Ok(cell.clone());
+        }
+
+        let total_cores = big + little;
+        let t_sb = self.baselines(workload, total_cores)?;
+
+        // Average turnarounds over the two enumeration orders (§5.1) and
+        // any configured replications.
+        let reps = self.config.replications.max(1);
+        let mut sums: Vec<SimDuration> = vec![SimDuration::ZERO; workload.num_apps()];
+        let mut names: Vec<String> = Vec::new();
+        for rep in 0..reps {
+            let seed = self.rep_seed(rep);
+            for order in CoreOrder::BOTH {
+                let machine = MachineConfig::asymmetric(big, little, order);
+                let sim = Simulation::from_apps_with_params(
+                    &machine,
+                    workload.instantiate(seed, self.config.scale),
+                    seed,
+                    self.config.sim_params,
+                )?;
+                let mut sched = kind.create(&machine, &self.model);
+                let outcome = sim.run(sched.as_mut())?;
+                names = outcome.apps.iter().map(|a| a.name.clone()).collect();
+                for (sum, app) in sums.iter_mut().zip(&outcome.apps) {
+                    *sum += app.turnaround;
+                }
+            }
+        }
+        let divisor = 2 * u64::from(reps);
+        let apps: Vec<(String, SimDuration, SimDuration)> = names
+            .into_iter()
+            .zip(sums)
+            .zip(&t_sb)
+            .map(|((name, sum), &sb)| (name, sum / divisor, sb))
+            .collect();
+
+        let cell = MixSummary::new(workload.name(), config_label, kind.name(), apps);
+        self.cells.insert(key, cell.clone());
+        Ok(cell)
+    }
+
+    /// Single-program H_NTT (Figure 4): the benchmark alone on the
+    /// asymmetric machine vs alone on the all-big twin.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn single(
+        &mut self,
+        bench: BenchmarkId,
+        threads: usize,
+        big: usize,
+        little: usize,
+        kind: SchedulerKind,
+    ) -> Result<f64> {
+        let spec = WorkloadSpec::single(bench, threads);
+        let cell = self.mix(&spec, big, little, kind)?;
+        let (_, t_m, t_sb) = &cell.apps[0];
+        Ok(amp_metrics::h_ntt(*t_m, *t_sb))
+    }
+
+    /// Number of simulation cells evaluated so far (diagnostics).
+    pub fn cells_evaluated(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduler_kinds_construct() {
+        let machine = MachineConfig::paper_2b2s(CoreOrder::BigFirst);
+        let model = SpeedupModel::heuristic();
+        for kind in SchedulerKind::ALL {
+            let sched = kind.create(&machine, &model);
+            assert_eq!(sched.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn mix_is_memoized_and_sane() {
+        let mut h = Harness::new(ExperimentConfig::quick()).unwrap();
+        let spec = WorkloadSpec::named(
+            "test-mix",
+            vec![
+                (BenchmarkId::Blackscholes, 2),
+                (BenchmarkId::WaterSpatial, 2),
+            ],
+        );
+        let a = h.mix(&spec, 2, 2, SchedulerKind::Linux).unwrap();
+        let evaluated = h.cells_evaluated();
+        let b = h.mix(&spec, 2, 2, SchedulerKind::Linux).unwrap();
+        assert_eq!(h.cells_evaluated(), evaluated, "second call must hit cache");
+        assert_eq!(a.h_antt, b.h_antt);
+        // Co-scheduled on a machine with little cores must be no faster
+        // than alone on all-big: H_ANTT ≥ ~1.
+        assert!(a.h_antt > 0.95, "H_ANTT {} implausibly low", a.h_antt);
+        assert!(a.h_stp <= 2.0 + 1e-9, "H_STP bounded by app count");
+    }
+
+    #[test]
+    fn single_program_h_ntt_at_least_one() {
+        let mut h = Harness::new(ExperimentConfig::quick()).unwrap();
+        for kind in SchedulerKind::ALL {
+            let ntt = h
+                .single(BenchmarkId::Blackscholes, 4, 2, 2, kind)
+                .unwrap();
+            assert!(
+                ntt > 0.95,
+                "{}: H_NTT {ntt} below the physical floor",
+                kind.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Smoke and sanity tests for the extension experiments (energy, GTS,
+//! sensitivity, fairness, ablation) at quick scale.
+
+use colab::{experiments, ExperimentConfig, Harness, SchedulerKind};
+
+fn quick_harness() -> Harness {
+    Harness::new(ExperimentConfig::quick()).expect("harness builds")
+}
+
+#[test]
+fn energy_study_is_internally_consistent() {
+    let mut h = quick_harness();
+    let study = experiments::energy(&mut h).unwrap();
+    assert_eq!(study.rows.len(), SchedulerKind::EXTENDED.len());
+    // Linux is its own baseline.
+    assert_eq!(study.rows[0].scheduler, "linux");
+    assert!((study.rows[0].energy_vs_linux - 1.0).abs() < 1e-9);
+    assert!((study.rows[0].edp_vs_linux - 1.0).abs() < 1e-9);
+    for row in &study.rows {
+        assert!(row.energy_vs_linux > 0.3 && row.energy_vs_linux < 3.0);
+        assert!(row.edp_vs_linux > 0.1 && row.edp_vs_linux < 5.0);
+    }
+    assert!(study.to_string().contains("colab"));
+}
+
+#[test]
+fn gts_exists_and_differs_from_linux() {
+    let mut h = quick_harness();
+    let spec = amp_workloads::PaperWorkload::all()[1].spec(); // Sync-2
+    let linux = h.mix(&spec, 2, 2, SchedulerKind::Linux).unwrap();
+    let gts = h.mix(&spec, 2, 2, SchedulerKind::Gts).unwrap();
+    assert_eq!(gts.scheduler, "gts");
+    assert_ne!(
+        linux.h_antt, gts.h_antt,
+        "distinct policies should not tie exactly"
+    );
+}
+
+#[test]
+fn ablation_has_four_variants_with_full_colab_first() {
+    let mut h = quick_harness();
+    let ablation = experiments::ablation(&mut h).unwrap();
+    assert_eq!(ablation.rows.len(), 4);
+    assert_eq!(ablation.rows[0].variant, "full COLAB");
+    for row in &ablation.rows {
+        assert!(
+            row.antt_vs_linux > 0.3 && row.antt_vs_linux < 3.0,
+            "{}: {}",
+            row.variant,
+            row.antt_vs_linux
+        );
+    }
+}
+
+#[test]
+fn sensitivity_covers_defaults_and_variants() {
+    let mut h = quick_harness();
+    let s = experiments::sensitivity(&mut h).unwrap();
+    assert_eq!(s.rows[0].variant, "defaults");
+    assert!(s.rows.len() >= 5);
+    for row in &s.rows {
+        assert!(row.colab_vs_linux > 0.3 && row.colab_vs_linux < 3.0);
+    }
+}
+
+#[test]
+fn fairness_study_bounds_hold() {
+    let mut h = quick_harness();
+    let f = experiments::fairness(&mut h).unwrap();
+    assert_eq!(f.rows.len(), 3);
+    for row in &f.rows {
+        assert!(
+            row.jains_index > 0.0 && row.jains_index <= 1.0 + 1e-9,
+            "{}: Jain {}",
+            row.scheduler,
+            row.jains_index
+        );
+        assert!(row.slowdown_spread >= 1.0 - 1e-9);
+    }
+}
+
+#[test]
+fn quantified_table1_ranks_colab_ahead_of_gts() {
+    let mut h = quick_harness();
+    let t = experiments::table1_quantified(&mut h).unwrap();
+    let antt_of = |name: &str| {
+        t.rows
+            .iter()
+            .find(|(n, _, _)| *n == name)
+            .map(|&(_, a, _)| a)
+            .expect("row exists")
+    };
+    // Affinity-only load-average scheduling must not beat the coordinated
+    // policy (the whole point of Table 1).
+    assert!(antt_of("colab") < antt_of("gts"));
+}

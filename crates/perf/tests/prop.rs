@@ -1,0 +1,116 @@
+// Index-based loops read naturally for matrix algebra.
+#![allow(clippy::needless_range_loop)]
+
+//! Property tests for the numerics: the Jacobi eigendecomposition and the
+//! least-squares fit must satisfy their defining identities on random
+//! inputs.
+
+use amp_perf::linreg::LinearModel;
+use amp_perf::pca::{jacobi_eigen, Pca};
+use proptest::prelude::*;
+
+/// Random symmetric matrix of dimension 2..=6 with entries in ±10.
+fn symmetric_matrix() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (2usize..=6).prop_flat_map(|d| {
+        proptest::collection::vec(-10.0f64..10.0, d * (d + 1) / 2).prop_map(move |upper| {
+            let mut a = vec![vec![0.0; d]; d];
+            let mut it = upper.into_iter();
+            for i in 0..d {
+                for j in i..d {
+                    let v = it.next().expect("enough entries");
+                    a[i][j] = v;
+                    a[j][i] = v;
+                }
+            }
+            a
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn jacobi_satisfies_eigen_identity(a in symmetric_matrix()) {
+        let d = a.len();
+        let (vals, vecs) = jacobi_eigen(a.clone()).expect("converges");
+        // Frobenius scale of A for a relative tolerance.
+        let scale: f64 = a
+            .iter()
+            .flatten()
+            .map(|x| x * x)
+            .sum::<f64>()
+            .sqrt()
+            .max(1.0);
+        for j in 0..d {
+            for i in 0..d {
+                let av: f64 = (0..d).map(|k| a[i][k] * vecs[k][j]).sum();
+                let lv = vals[j] * vecs[i][j];
+                prop_assert!(
+                    (av - lv).abs() < 1e-7 * scale,
+                    "A·v ≠ λ·v at ({i},{j}): {av} vs {lv}"
+                );
+            }
+        }
+        // Trace preservation.
+        let trace: f64 = (0..d).map(|i| a[i][i]).sum();
+        let vsum: f64 = vals.iter().sum();
+        prop_assert!((trace - vsum).abs() < 1e-7 * scale);
+        // Orthonormal eigenvectors.
+        for j1 in 0..d {
+            for j2 in 0..d {
+                let dot: f64 = (0..d).map(|k| vecs[k][j1] * vecs[k][j2]).sum();
+                let want = if j1 == j2 { 1.0 } else { 0.0 };
+                prop_assert!((dot - want).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn pca_explained_variance_sums_to_one(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-50.0f64..50.0, 4),
+            8..40,
+        )
+    ) {
+        let pca = Pca::fit(&rows).expect("fits");
+        let ratios = pca.explained_variance_ratio();
+        let total: f64 = ratios.iter().sum();
+        // Either everything is constant (sum 0) or ratios partition 1.
+        prop_assert!(total.abs() < 1e-9 || (total - 1.0).abs() < 1e-9);
+        prop_assert!(ratios.windows(2).all(|w| w[0] >= w[1] - 1e-12), "sorted desc");
+    }
+
+    #[test]
+    fn ols_residuals_are_orthogonal_to_features(
+        coefs in proptest::collection::vec(-5.0f64..5.0, 3),
+        intercept in -10.0f64..10.0,
+        seed in 0u64..1000,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<Vec<f64>> = (0..60)
+            .map(|_| (0..3).map(|_| rng.gen_range(-5.0..5.0)).collect())
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|r| {
+                intercept
+                    + r.iter().zip(&coefs).map(|(&x, &c)| x * c).sum::<f64>()
+                    + rng.gen_range(-0.1..0.1)
+            })
+            .collect();
+        let model = LinearModel::fit(&xs, &ys).expect("fits");
+        // Normal-equation optimality: residuals ⟂ each feature column.
+        for f in 0..3 {
+            let dot: f64 = xs
+                .iter()
+                .zip(&ys)
+                .map(|(r, &y)| (y - model.predict(r)) * r[f])
+                .sum();
+            prop_assert!(dot.abs() < 1e-4, "residual·x{f} = {dot}");
+        }
+        prop_assert!(model.r_squared() > 0.99);
+    }
+}

@@ -1,0 +1,718 @@
+//! An arena-based red-black tree.
+//!
+//! Linux CFS keeps each core's runqueue in a red-black tree ordered by
+//! virtual runtime, cached-leftmost-first. The COLAB paper re-implements its
+//! policies on top of that machinery, so this crate provides the same
+//! substrate: a classic CLRS red-black tree stored in a contiguous arena
+//! (indices instead of pointers), with a cached minimum, O(log n) insert and
+//! delete, and in-order iteration.
+//!
+//! Keys must be unique (as `(vruntime, thread id)` pairs are in CFS);
+//! inserting a duplicate key replaces the value and returns the old one.
+//!
+//! # Examples
+//!
+//! ```
+//! use amp_rbtree::RbTree;
+//!
+//! let mut timeline: RbTree<(u64, u32), &str> = RbTree::new();
+//! timeline.insert((100, 1), "late");
+//! timeline.insert((5, 2), "early");
+//! timeline.insert((50, 3), "middle");
+//!
+//! assert_eq!(timeline.peek_min(), Some((&(5, 2), &"early")));
+//! let (key, value) = timeline.pop_min().unwrap();
+//! assert_eq!((key, value), ((5, 2), "early"));
+//! assert_eq!(timeline.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+const NIL: usize = 0;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Color {
+    Red,
+    Black,
+}
+
+#[derive(Debug, Clone)]
+struct Node<K, V> {
+    key: Option<K>,
+    value: Option<V>,
+    left: usize,
+    right: usize,
+    parent: usize,
+    color: Color,
+}
+
+impl<K, V> Node<K, V> {
+    fn sentinel() -> Self {
+        Node {
+            key: None,
+            value: None,
+            left: NIL,
+            right: NIL,
+            parent: NIL,
+            color: Color::Black,
+        }
+    }
+}
+
+/// A red-black tree with unique, totally ordered keys.
+///
+/// See the [crate-level documentation](crate) for an overview and example.
+#[derive(Clone)]
+pub struct RbTree<K, V> {
+    nodes: Vec<Node<K, V>>,
+    free: Vec<usize>,
+    root: usize,
+    min: usize,
+    len: usize,
+}
+
+impl<K: Ord, V> Default for RbTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord, V> RbTree<K, V> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        RbTree {
+            nodes: vec![Node::sentinel()],
+            free: Vec::new(),
+            root: NIL,
+            min: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of entries in the tree.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a key-value pair. Returns the previous value if `key` was
+    /// already present (the entry's value is replaced in place).
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let mut parent = NIL;
+        let mut cur = self.root;
+        while cur != NIL {
+            parent = cur;
+            match key.cmp(self.key(cur)) {
+                std::cmp::Ordering::Less => cur = self.nodes[cur].left,
+                std::cmp::Ordering::Greater => cur = self.nodes[cur].right,
+                std::cmp::Ordering::Equal => {
+                    return self.nodes[cur].value.replace(value);
+                }
+            }
+        }
+        let fresh = self.alloc(key, value, parent);
+        if parent == NIL {
+            self.root = fresh;
+        } else if self.key(fresh) < self.key(parent) {
+            self.nodes[parent].left = fresh;
+        } else {
+            self.nodes[parent].right = fresh;
+        }
+        if self.min == NIL || self.key(fresh) < self.key(self.min) {
+            self.min = fresh;
+        }
+        self.insert_fixup(fresh);
+        self.len += 1;
+        None
+    }
+
+    /// The smallest entry, if any. O(1) thanks to the cached leftmost node.
+    pub fn peek_min(&self) -> Option<(&K, &V)> {
+        if self.min == NIL {
+            None
+        } else {
+            Some((
+                self.nodes[self.min].key.as_ref().expect("live node has key"),
+                self.nodes[self.min]
+                    .value
+                    .as_ref()
+                    .expect("live node has value"),
+            ))
+        }
+    }
+
+    /// Removes and returns the smallest entry.
+    pub fn pop_min(&mut self) -> Option<(K, V)> {
+        if self.min == NIL {
+            return None;
+        }
+        let target = self.min;
+        Some(self.remove_node(target))
+    }
+
+    /// Returns a reference to the value for `key`, if present.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let node = self.find(key)?;
+        self.nodes[node].value.as_ref()
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.find(key).is_some()
+    }
+
+    /// Removes `key`, returning its value if it was present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let node = self.find(key)?;
+        let (_, v) = self.remove_node(node);
+        Some(v)
+    }
+
+    /// In-order (ascending key) iteration over `(key, value)` pairs.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        let mut stack = Vec::new();
+        let mut cur = self.root;
+        while cur != NIL {
+            stack.push(cur);
+            cur = self.nodes[cur].left;
+        }
+        Iter { tree: self, stack }
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.nodes.truncate(1);
+        self.free.clear();
+        self.root = NIL;
+        self.min = NIL;
+        self.len = 0;
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+
+    fn key(&self, node: usize) -> &K {
+        debug_assert_ne!(node, NIL);
+        self.nodes[node].key.as_ref().expect("live node has key")
+    }
+
+    fn alloc(&mut self, key: K, value: V, parent: usize) -> usize {
+        let node = Node {
+            key: Some(key),
+            value: Some(value),
+            left: NIL,
+            right: NIL,
+            parent,
+            color: Color::Red,
+        };
+        if let Some(slot) = self.free.pop() {
+            self.nodes[slot] = node;
+            slot
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    fn find(&self, key: &K) -> Option<usize> {
+        let mut cur = self.root;
+        while cur != NIL {
+            match key.cmp(self.key(cur)) {
+                std::cmp::Ordering::Less => cur = self.nodes[cur].left,
+                std::cmp::Ordering::Greater => cur = self.nodes[cur].right,
+                std::cmp::Ordering::Equal => return Some(cur),
+            }
+        }
+        None
+    }
+
+    fn subtree_min(&self, mut node: usize) -> usize {
+        while self.nodes[node].left != NIL {
+            node = self.nodes[node].left;
+        }
+        node
+    }
+
+    fn successor(&self, node: usize) -> usize {
+        if self.nodes[node].right != NIL {
+            return self.subtree_min(self.nodes[node].right);
+        }
+        let mut cur = node;
+        let mut up = self.nodes[cur].parent;
+        while up != NIL && cur == self.nodes[up].right {
+            cur = up;
+            up = self.nodes[cur].parent;
+        }
+        up
+    }
+
+    fn rotate_left(&mut self, x: usize) {
+        let y = self.nodes[x].right;
+        self.nodes[x].right = self.nodes[y].left;
+        if self.nodes[y].left != NIL {
+            let yl = self.nodes[y].left;
+            self.nodes[yl].parent = x;
+        }
+        self.nodes[y].parent = self.nodes[x].parent;
+        let xp = self.nodes[x].parent;
+        if xp == NIL {
+            self.root = y;
+        } else if x == self.nodes[xp].left {
+            self.nodes[xp].left = y;
+        } else {
+            self.nodes[xp].right = y;
+        }
+        self.nodes[y].left = x;
+        self.nodes[x].parent = y;
+    }
+
+    fn rotate_right(&mut self, x: usize) {
+        let y = self.nodes[x].left;
+        self.nodes[x].left = self.nodes[y].right;
+        if self.nodes[y].right != NIL {
+            let yr = self.nodes[y].right;
+            self.nodes[yr].parent = x;
+        }
+        self.nodes[y].parent = self.nodes[x].parent;
+        let xp = self.nodes[x].parent;
+        if xp == NIL {
+            self.root = y;
+        } else if x == self.nodes[xp].right {
+            self.nodes[xp].right = y;
+        } else {
+            self.nodes[xp].left = y;
+        }
+        self.nodes[y].right = x;
+        self.nodes[x].parent = y;
+    }
+
+    fn insert_fixup(&mut self, mut z: usize) {
+        while self.nodes[self.nodes[z].parent].color == Color::Red {
+            let zp = self.nodes[z].parent;
+            let zpp = self.nodes[zp].parent;
+            if zp == self.nodes[zpp].left {
+                let uncle = self.nodes[zpp].right;
+                if self.nodes[uncle].color == Color::Red {
+                    self.nodes[zp].color = Color::Black;
+                    self.nodes[uncle].color = Color::Black;
+                    self.nodes[zpp].color = Color::Red;
+                    z = zpp;
+                } else {
+                    if z == self.nodes[zp].right {
+                        z = zp;
+                        self.rotate_left(z);
+                    }
+                    let zp = self.nodes[z].parent;
+                    let zpp = self.nodes[zp].parent;
+                    self.nodes[zp].color = Color::Black;
+                    self.nodes[zpp].color = Color::Red;
+                    self.rotate_right(zpp);
+                }
+            } else {
+                let uncle = self.nodes[zpp].left;
+                if self.nodes[uncle].color == Color::Red {
+                    self.nodes[zp].color = Color::Black;
+                    self.nodes[uncle].color = Color::Black;
+                    self.nodes[zpp].color = Color::Red;
+                    z = zpp;
+                } else {
+                    if z == self.nodes[zp].left {
+                        z = zp;
+                        self.rotate_right(z);
+                    }
+                    let zp = self.nodes[z].parent;
+                    let zpp = self.nodes[zp].parent;
+                    self.nodes[zp].color = Color::Black;
+                    self.nodes[zpp].color = Color::Red;
+                    self.rotate_left(zpp);
+                }
+            }
+        }
+        let root = self.root;
+        self.nodes[root].color = Color::Black;
+        self.nodes[NIL].parent = NIL;
+    }
+
+    fn transplant(&mut self, u: usize, v: usize) {
+        let up = self.nodes[u].parent;
+        if up == NIL {
+            self.root = v;
+        } else if u == self.nodes[up].left {
+            self.nodes[up].left = v;
+        } else {
+            self.nodes[up].right = v;
+        }
+        self.nodes[v].parent = up;
+    }
+
+    fn remove_node(&mut self, z: usize) -> (K, V) {
+        // Update the cached minimum before the structure changes.
+        if z == self.min {
+            self.min = self.successor(z);
+        }
+
+        let mut y = z;
+        let mut y_color = self.nodes[y].color;
+        let x;
+        if self.nodes[z].left == NIL {
+            x = self.nodes[z].right;
+            self.transplant(z, x);
+        } else if self.nodes[z].right == NIL {
+            x = self.nodes[z].left;
+            self.transplant(z, x);
+        } else {
+            y = self.subtree_min(self.nodes[z].right);
+            y_color = self.nodes[y].color;
+            x = self.nodes[y].right;
+            if self.nodes[y].parent == z {
+                self.nodes[x].parent = y;
+            } else {
+                self.transplant(y, x);
+                self.nodes[y].right = self.nodes[z].right;
+                let yr = self.nodes[y].right;
+                self.nodes[yr].parent = y;
+            }
+            self.transplant(z, y);
+            self.nodes[y].left = self.nodes[z].left;
+            let yl = self.nodes[y].left;
+            self.nodes[yl].parent = y;
+            self.nodes[y].color = self.nodes[z].color;
+        }
+        if y_color == Color::Black {
+            self.delete_fixup(x);
+        }
+        self.nodes[NIL].parent = NIL;
+        self.nodes[NIL].left = NIL;
+        self.nodes[NIL].right = NIL;
+        self.nodes[NIL].color = Color::Black;
+
+        self.len -= 1;
+        let key = self.nodes[z].key.take().expect("live node has key");
+        let value = self.nodes[z].value.take().expect("live node has value");
+        self.free.push(z);
+        if self.len == 0 {
+            self.root = NIL;
+            self.min = NIL;
+        }
+        (key, value)
+    }
+
+    fn delete_fixup(&mut self, mut x: usize) {
+        while x != self.root && self.nodes[x].color == Color::Black {
+            let xp = self.nodes[x].parent;
+            if x == self.nodes[xp].left {
+                let mut w = self.nodes[xp].right;
+                if self.nodes[w].color == Color::Red {
+                    self.nodes[w].color = Color::Black;
+                    self.nodes[xp].color = Color::Red;
+                    self.rotate_left(xp);
+                    w = self.nodes[self.nodes[x].parent].right;
+                }
+                let wl = self.nodes[w].left;
+                let wr = self.nodes[w].right;
+                if self.nodes[wl].color == Color::Black && self.nodes[wr].color == Color::Black {
+                    self.nodes[w].color = Color::Red;
+                    x = self.nodes[x].parent;
+                } else {
+                    if self.nodes[wr].color == Color::Black {
+                        self.nodes[wl].color = Color::Black;
+                        self.nodes[w].color = Color::Red;
+                        self.rotate_right(w);
+                        w = self.nodes[self.nodes[x].parent].right;
+                    }
+                    let xp = self.nodes[x].parent;
+                    self.nodes[w].color = self.nodes[xp].color;
+                    self.nodes[xp].color = Color::Black;
+                    let wr = self.nodes[w].right;
+                    self.nodes[wr].color = Color::Black;
+                    self.rotate_left(xp);
+                    x = self.root;
+                }
+            } else {
+                let mut w = self.nodes[xp].left;
+                if self.nodes[w].color == Color::Red {
+                    self.nodes[w].color = Color::Black;
+                    self.nodes[xp].color = Color::Red;
+                    self.rotate_right(xp);
+                    w = self.nodes[self.nodes[x].parent].left;
+                }
+                let wl = self.nodes[w].left;
+                let wr = self.nodes[w].right;
+                if self.nodes[wl].color == Color::Black && self.nodes[wr].color == Color::Black {
+                    self.nodes[w].color = Color::Red;
+                    x = self.nodes[x].parent;
+                } else {
+                    if self.nodes[wl].color == Color::Black {
+                        self.nodes[wr].color = Color::Black;
+                        self.nodes[w].color = Color::Red;
+                        self.rotate_left(w);
+                        w = self.nodes[self.nodes[x].parent].left;
+                    }
+                    let xp = self.nodes[x].parent;
+                    self.nodes[w].color = self.nodes[xp].color;
+                    self.nodes[xp].color = Color::Black;
+                    let wl = self.nodes[w].left;
+                    self.nodes[wl].color = Color::Black;
+                    self.rotate_right(xp);
+                    x = self.root;
+                }
+            }
+        }
+        self.nodes[x].color = Color::Black;
+    }
+
+    /// Verifies the red-black invariants; used by tests.
+    ///
+    /// Checks: the root is black, no red node has a red child, every path
+    /// from the root to a leaf has the same black height, the in-order
+    /// traversal is strictly ascending, and the cached minimum matches the
+    /// leftmost node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant is violated.
+    pub fn assert_invariants(&self) {
+        if self.root == NIL {
+            assert_eq!(self.len, 0, "empty tree must have len 0");
+            assert_eq!(self.min, NIL);
+            return;
+        }
+        assert_eq!(
+            self.nodes[self.root].color,
+            Color::Black,
+            "root must be black"
+        );
+        let mut count = 0;
+        self.check_subtree(self.root, &mut count);
+        assert_eq!(count, self.len, "len must match node count");
+        assert_eq!(
+            self.min,
+            self.subtree_min(self.root),
+            "cached min must be leftmost"
+        );
+        let keys: Vec<&K> = self.iter().map(|(k, _)| k).collect();
+        assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "in-order traversal must be strictly ascending"
+        );
+    }
+
+    fn check_subtree(&self, node: usize, count: &mut usize) -> usize {
+        if node == NIL {
+            return 1; // black height of the sentinel leaf
+        }
+        *count += 1;
+        let left = self.nodes[node].left;
+        let right = self.nodes[node].right;
+        if self.nodes[node].color == Color::Red {
+            assert_eq!(
+                self.nodes[left].color,
+                Color::Black,
+                "red node must not have red left child"
+            );
+            assert_eq!(
+                self.nodes[right].color,
+                Color::Black,
+                "red node must not have red right child"
+            );
+        }
+        if left != NIL {
+            assert_eq!(self.nodes[left].parent, node, "left child parent link");
+            assert!(self.key(left) < self.key(node), "BST order (left)");
+        }
+        if right != NIL {
+            assert_eq!(self.nodes[right].parent, node, "right child parent link");
+            assert!(self.key(right) > self.key(node), "BST order (right)");
+        }
+        let lh = self.check_subtree(left, count);
+        let rh = self.check_subtree(right, count);
+        assert_eq!(lh, rh, "black heights must match");
+        lh + usize::from(self.nodes[node].color == Color::Black)
+    }
+}
+
+impl<K: Ord + fmt::Debug, V: fmt::Debug> fmt::Debug for RbTree<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+/// In-order iterator over a [`RbTree`], produced by [`RbTree::iter`].
+pub struct Iter<'a, K, V> {
+    tree: &'a RbTree<K, V>,
+    stack: Vec<usize>,
+}
+
+impl<'a, K: Ord, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let node = self.stack.pop()?;
+        let mut cur = self.tree.nodes[node].right;
+        while cur != NIL {
+            self.stack.push(cur);
+            cur = self.tree.nodes[cur].left;
+        }
+        Some((
+            self.tree.nodes[node].key.as_ref().expect("live node"),
+            self.tree.nodes[node].value.as_ref().expect("live node"),
+        ))
+    }
+}
+
+impl<K: Ord, V> FromIterator<(K, V)> for RbTree<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut tree = RbTree::new();
+        for (k, v) in iter {
+            tree.insert(k, v);
+        }
+        tree
+    }
+}
+
+impl<K: Ord, V> Extend<(K, V)> for RbTree<K, V> {
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree_behaves() {
+        let mut t: RbTree<u32, u32> = RbTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.peek_min(), None);
+        assert_eq!(t.pop_min(), None);
+        assert_eq!(t.remove(&5), None);
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn ascending_insert_pops_in_order() {
+        let mut t = RbTree::new();
+        for i in 0..100u32 {
+            t.insert(i, i * 10);
+            t.assert_invariants();
+        }
+        for i in 0..100u32 {
+            assert_eq!(t.pop_min(), Some((i, i * 10)));
+        }
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn descending_insert_pops_in_order() {
+        let mut t = RbTree::new();
+        for i in (0..100u32).rev() {
+            t.insert(i, ());
+            t.assert_invariants();
+        }
+        let keys: Vec<u32> = std::iter::from_fn(|| t.pop_min().map(|(k, _)| k)).collect();
+        assert_eq!(keys, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplicate_insert_replaces_value() {
+        let mut t = RbTree::new();
+        assert_eq!(t.insert(7, "a"), None);
+        assert_eq!(t.insert(7, "b"), Some("a"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&7), Some(&"b"));
+    }
+
+    #[test]
+    fn remove_arbitrary_keys() {
+        let mut t = RbTree::new();
+        for i in 0..50u32 {
+            t.insert(i, i);
+        }
+        for i in (0..50).step_by(3) {
+            assert_eq!(t.remove(&i), Some(i));
+            t.assert_invariants();
+        }
+        assert_eq!(t.remove(&0), None);
+        assert_eq!(t.len(), 50 - 17);
+    }
+
+    #[test]
+    fn min_cache_tracks_removals() {
+        let mut t = RbTree::new();
+        t.insert(5, ());
+        t.insert(1, ());
+        t.insert(9, ());
+        assert_eq!(t.peek_min().unwrap().0, &1);
+        t.remove(&1);
+        assert_eq!(t.peek_min().unwrap().0, &5);
+        t.pop_min();
+        assert_eq!(t.peek_min().unwrap().0, &9);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = RbTree::new();
+        for i in 0..10u32 {
+            t.insert(i, ());
+        }
+        t.clear();
+        assert!(t.is_empty());
+        t.insert(3, ());
+        assert_eq!(t.peek_min().unwrap().0, &3);
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let mut t = RbTree::new();
+        for &k in &[5u32, 3, 8, 1, 9, 2, 7] {
+            t.insert(k, k * 2);
+        }
+        let pairs: Vec<(u32, u32)> = t.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(
+            pairs,
+            vec![(1, 2), (2, 4), (3, 6), (5, 10), (7, 14), (8, 16), (9, 18)]
+        );
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let t: RbTree<u32, u32> = (0..10).map(|i| (i, i)).collect();
+        assert_eq!(t.len(), 10);
+        t.assert_invariants();
+    }
+
+    #[test]
+    fn slot_reuse_after_removal() {
+        let mut t = RbTree::new();
+        for round in 0..5 {
+            for i in 0..20u32 {
+                t.insert(i + round, ());
+            }
+            while t.pop_min().is_some() {}
+        }
+        // The arena should not have grown beyond one batch plus the sentinel.
+        assert!(t.nodes.len() <= 25, "arena grew to {}", t.nodes.len());
+    }
+
+    #[test]
+    fn tuple_keys_model_cfs_timeline() {
+        // (vruntime, tid) keys: equal vruntimes tie-break by tid.
+        let mut t = RbTree::new();
+        t.insert((100u64, 2u32), "b");
+        t.insert((100, 1), "a");
+        t.insert((50, 3), "c");
+        assert_eq!(t.pop_min().unwrap().1, "c");
+        assert_eq!(t.pop_min().unwrap().1, "a");
+        assert_eq!(t.pop_min().unwrap().1, "b");
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests: the red-black tree must behave exactly like a
+//! `BTreeMap` model under arbitrary interleavings of operations, and must
+//! keep its structural invariants at every step.
+
+use std::collections::BTreeMap;
+
+use amp_rbtree::RbTree;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u32),
+    Remove(u16),
+    PopMin,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k % 512, v)),
+        2 => any::<u16>().prop_map(|k| Op::Remove(k % 512)),
+        1 => Just(Op::PopMin),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn matches_btreemap_model(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        let mut tree: RbTree<u16, u32> = RbTree::new();
+        let mut model: BTreeMap<u16, u32> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(tree.insert(k, v), model.insert(k, v));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(tree.remove(&k), model.remove(&k));
+                }
+                Op::PopMin => {
+                    let expected = model.iter().next().map(|(&k, &v)| (k, v));
+                    if let Some((k, _)) = expected {
+                        model.remove(&k);
+                    }
+                    prop_assert_eq!(tree.pop_min(), expected);
+                }
+            }
+            tree.assert_invariants();
+            prop_assert_eq!(tree.len(), model.len());
+            prop_assert_eq!(
+                tree.peek_min().map(|(&k, &v)| (k, v)),
+                model.iter().next().map(|(&k, &v)| (k, v))
+            );
+        }
+
+        let drained: Vec<(u16, u32)> = std::iter::from_fn(|| tree.pop_min()).collect();
+        let expected: Vec<(u16, u32)> = model.into_iter().collect();
+        prop_assert_eq!(drained, expected);
+    }
+
+    #[test]
+    fn iteration_matches_sorted_input(mut keys in proptest::collection::vec(any::<u32>(), 0..300)) {
+        let tree: RbTree<u32, ()> = keys.iter().map(|&k| (k, ())).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let iterated: Vec<u32> = tree.iter().map(|(&k, _)| k).collect();
+        prop_assert_eq!(iterated, keys);
+        tree.assert_invariants();
+    }
+}

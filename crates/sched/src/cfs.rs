@@ -1,0 +1,425 @@
+//! The Linux CFS baseline (and the mechanism layer WASH reuses).
+
+use amp_rbtree::RbTree;
+use amp_sim::{EnqueueReason, Pick, SchedCtx, Scheduler, StopReason};
+use amp_types::{CoreId, MachineConfig, SimDuration, ThreadId};
+
+/// Linux CFS tunables (defaults match the kernel's).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CfsTunables {
+    /// `sched_latency_ns`: the period over which every runnable thread
+    /// should run once.
+    pub sched_latency: u64,
+    /// `sched_min_granularity_ns`: slice floor.
+    pub min_granularity: u64,
+    /// `sched_wakeup_granularity_ns`: vruntime lead a waking thread needs
+    /// to preempt.
+    pub wakeup_granularity: u64,
+}
+
+impl Default for CfsTunables {
+    fn default() -> Self {
+        CfsTunables {
+            sched_latency: 6_000_000,
+            min_granularity: 750_000,
+            wakeup_granularity: 1_000_000,
+        }
+    }
+}
+
+/// One per-core runqueue: the red-black timeline keyed by
+/// `(vruntime, tid)`, plus the monotone `min_vruntime` reference.
+#[derive(Debug, Default, Clone)]
+struct CfsRq {
+    tree: RbTree<(u64, u32), ()>,
+    min_vruntime: u64,
+}
+
+/// The reusable CFS mechanism: runqueues, vruntime accounting, placement,
+/// stealing, balancing. [`CfsScheduler`] exposes it unmodified;
+/// `WashScheduler` drives it through affinity masks.
+#[derive(Debug, Clone)]
+pub(crate) struct CfsEngine {
+    pub tunables: CfsTunables,
+    rqs: Vec<CfsRq>,
+    vruntime: Vec<u64>,
+    /// Which rq each thread sits on (None = running/blocked/finished).
+    queued_on: Vec<Option<CoreId>>,
+}
+
+impl CfsEngine {
+    pub fn new(num_cores: usize) -> CfsEngine {
+        CfsEngine {
+            tunables: CfsTunables::default(),
+            rqs: vec![CfsRq::default(); num_cores],
+            vruntime: Vec::new(),
+            queued_on: Vec::new(),
+        }
+    }
+
+    pub fn reset(&mut self, num_threads: usize) {
+        for rq in &mut self.rqs {
+            rq.tree.clear();
+            rq.min_vruntime = 0;
+        }
+        self.vruntime = vec![0; num_threads];
+        self.queued_on = vec![None; num_threads];
+    }
+
+    pub fn nr_queued(&self, core: CoreId) -> usize {
+        self.rqs[core.index()].tree.len()
+    }
+
+    /// Runnable load on a core: queued plus the running thread.
+    pub fn load(&self, ctx: &SchedCtx<'_>, core: CoreId) -> usize {
+        self.nr_queued(core) + usize::from(ctx.running_on(core).is_some())
+    }
+
+    /// `select_task_rq`: least-loaded core among `allowed`, ties to the
+    /// lowest id (which is where core-enumeration order enters).
+    pub fn select_core(
+        &self,
+        ctx: &SchedCtx<'_>,
+        allowed: impl Iterator<Item = CoreId>,
+    ) -> Option<CoreId> {
+        allowed.min_by_key(|&c| (self.load(ctx, c), c.index()))
+    }
+
+    /// Enqueues with min-vruntime placement (a sleeper's stale vruntime is
+    /// forgiven up to the queue's current minimum).
+    pub fn enqueue(&mut self, thread: ThreadId, core: CoreId) {
+        debug_assert!(self.queued_on[thread.index()].is_none());
+        let rq = &mut self.rqs[core.index()];
+        let vrt = self.vruntime[thread.index()].max(rq.min_vruntime);
+        self.vruntime[thread.index()] = vrt;
+        rq.tree.insert((vrt, thread.0), ());
+        self.queued_on[thread.index()] = Some(core);
+    }
+
+    /// Removes a specific queued thread (for balancing/stealing).
+    pub fn dequeue(&mut self, thread: ThreadId) -> bool {
+        let Some(core) = self.queued_on[thread.index()].take() else {
+            return false;
+        };
+        let key = (self.vruntime[thread.index()], thread.0);
+        let removed = self.rqs[core.index()].tree.remove(&key).is_some();
+        debug_assert!(removed, "queued thread must be in its tree");
+        removed
+    }
+
+    /// Pops the leftmost (minimum-vruntime) thread of a core's queue.
+    pub fn pop_local(&mut self, core: CoreId) -> Option<ThreadId> {
+        let rq = &mut self.rqs[core.index()];
+        let ((vrt, tid), ()) = rq.tree.pop_min()?;
+        rq.min_vruntime = rq.min_vruntime.max(vrt);
+        let thread = ThreadId::new(tid);
+        self.queued_on[thread.index()] = None;
+        Some(thread)
+    }
+
+    /// Idle balancing: pull the leftmost thread of the most loaded other
+    /// queue (among threads passing `allowed`).
+    pub fn steal_for(
+        &mut self,
+        core: CoreId,
+        allowed: impl Fn(ThreadId, CoreId) -> bool,
+    ) -> Option<ThreadId> {
+        let mut best: Option<(usize, CoreId, ThreadId, u64)> = None;
+        for (ci, rq) in self.rqs.iter().enumerate() {
+            let from = CoreId::new(ci as u32);
+            if from == core || rq.tree.is_empty() {
+                continue;
+            }
+            // Leftmost stealable entry of this queue.
+            if let Some((&(vrt, tid), ())) = rq
+                .tree
+                .iter()
+                .find(|(&(_, tid), ())| allowed(ThreadId::new(tid), core))
+            {
+                let load = rq.tree.len();
+                if best.as_ref().is_none_or(|&(l, ..)| load > l) {
+                    best = Some((load, from, ThreadId::new(tid), vrt));
+                }
+            }
+        }
+        let (_, from, thread, _) = best?;
+        self.dequeue(thread);
+        // Normalize vruntime into the destination queue's frame.
+        let old_min = self.rqs[from.index()].min_vruntime;
+        let new_min = self.rqs[core.index()].min_vruntime;
+        let v = &mut self.vruntime[thread.index()];
+        *v = v.saturating_sub(old_min).saturating_add(new_min);
+        Some(thread)
+    }
+
+    /// `sched_slice`: latency divided by runnable tasks, floored.
+    pub fn slice(&self, ctx: &SchedCtx<'_>, core: CoreId) -> SimDuration {
+        let nr = self.load(ctx, core).max(1) as u64;
+        let ns = (self.tunables.sched_latency / nr).max(self.tunables.min_granularity);
+        SimDuration::from_nanos(ns)
+    }
+
+    /// `wakeup_preempt_entity`: preempt when the runner's vruntime leads
+    /// the waker's by more than the wakeup granularity.
+    pub fn should_preempt(&self, incoming: ThreadId, running: ThreadId) -> bool {
+        let vr = self.vruntime[running.index()];
+        let vi = self.vruntime[incoming.index()];
+        vr > vi.saturating_add(self.tunables.wakeup_granularity)
+    }
+
+    /// Charges consumed CPU time to a thread's vruntime (equal weights —
+    /// and, for the baseline, deliberately AMP-agnostic wall time).
+    pub fn charge(&mut self, thread: ThreadId, ran: SimDuration) {
+        self.vruntime[thread.index()] =
+            self.vruntime[thread.index()].saturating_add(ran.as_nanos());
+    }
+
+    /// Periodic load balance: move one queued thread from the most loaded
+    /// to the least loaded core (when they differ by ≥ 2), respecting
+    /// `allowed`.
+    pub fn balance(&mut self, ctx: &SchedCtx<'_>, allowed: impl Fn(ThreadId, CoreId) -> bool) {
+        let cores = self.rqs.len();
+        for _ in 0..cores {
+            let busiest = (0..cores)
+                .map(|i| CoreId::new(i as u32))
+                .max_by_key(|&c| (self.load(ctx, c), c.index()))
+                .expect("machine has cores");
+            let idlest = (0..cores)
+                .map(|i| CoreId::new(i as u32))
+                .min_by_key(|&c| (self.load(ctx, c), c.index()))
+                .expect("machine has cores");
+            if self.load(ctx, busiest) < self.load(ctx, idlest) + 2 {
+                return;
+            }
+            // Migrate the *last* (largest-vruntime) eligible entry: it is
+            // the least urgent, as the kernel prefers.
+            let candidate = self.rqs[busiest.index()]
+                .tree
+                .iter()
+                .filter(|(&(_, tid), ())| allowed(ThreadId::new(tid), idlest))
+                .last()
+                .map(|(&(_, tid), ())| ThreadId::new(tid));
+            let Some(thread) = candidate else { return };
+            self.dequeue(thread);
+            let old_min = self.rqs[busiest.index()].min_vruntime;
+            let new_min = self.rqs[idlest.index()].min_vruntime;
+            let v = &mut self.vruntime[thread.index()];
+            *v = v.saturating_sub(old_min).saturating_add(new_min);
+            self.enqueue(thread, idlest);
+        }
+    }
+
+    /// Core a thread should requeue on: where it last ran.
+    pub fn requeue_core(&self, ctx: &SchedCtx<'_>, thread: ThreadId) -> CoreId {
+        ctx.thread(thread).last_core.unwrap_or(CoreId::new(0))
+    }
+
+    /// Current vruntime of a thread (inspection for tests/diagnostics).
+    #[cfg(test)]
+    pub fn vruntime(&self, thread: ThreadId) -> u64 {
+        self.vruntime[thread.index()]
+    }
+}
+
+/// The paper's `LINUX` baseline: plain CFS, asymmetric-agnostic.
+///
+/// # Examples
+///
+/// ```
+/// use amp_sched::{CfsScheduler, Scheduler};
+/// use amp_sim::Simulation;
+/// use amp_types::{CoreOrder, MachineConfig};
+/// use amp_workloads::{BenchmarkId, Scale, WorkloadSpec};
+///
+/// let machine = MachineConfig::paper_2b2s(CoreOrder::BigFirst);
+/// let sim = Simulation::build_scaled(
+///     &machine,
+///     &WorkloadSpec::single(BenchmarkId::Blackscholes, 4),
+///     1,
+///     Scale::quick(),
+/// ).unwrap();
+/// let outcome = sim.run(&mut CfsScheduler::new(&machine)).unwrap();
+/// assert_eq!(outcome.scheduler, "linux");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CfsScheduler {
+    engine: CfsEngine,
+}
+
+impl CfsScheduler {
+    /// Creates the baseline scheduler for a machine.
+    pub fn new(machine: &MachineConfig) -> CfsScheduler {
+        CfsScheduler {
+            engine: CfsEngine::new(machine.num_cores()),
+        }
+    }
+}
+
+impl Scheduler for CfsScheduler {
+    fn name(&self) -> &'static str {
+        "linux"
+    }
+
+    fn init(&mut self, ctx: &SchedCtx<'_>) {
+        self.engine.reset(ctx.num_threads());
+    }
+
+    fn enqueue(&mut self, ctx: &SchedCtx<'_>, thread: ThreadId, reason: EnqueueReason) -> CoreId {
+        let core = match reason {
+            EnqueueReason::Requeue => self.engine.requeue_core(ctx, thread),
+            EnqueueReason::Spawn | EnqueueReason::Wake => self
+                .engine
+                .select_core(ctx, ctx.machine.iter().map(|(id, _)| id))
+                .expect("machine has cores"),
+        };
+        self.engine.enqueue(thread, core);
+        core
+    }
+
+    fn pick_next(&mut self, _ctx: &SchedCtx<'_>, core: CoreId) -> Pick {
+        if let Some(t) = self.engine.pop_local(core) {
+            return Pick::Run(t);
+        }
+        // Idle balancing: pull from the busiest queue.
+        match self.engine.steal_for(core, |_, _| true) {
+            Some(t) => Pick::Run(t),
+            None => Pick::Idle,
+        }
+    }
+
+    fn time_slice(&self, ctx: &SchedCtx<'_>, _thread: ThreadId, core: CoreId) -> SimDuration {
+        self.engine.slice(ctx, core)
+    }
+
+    fn should_preempt(
+        &self,
+        _ctx: &SchedCtx<'_>,
+        incoming: ThreadId,
+        _core: CoreId,
+        running: ThreadId,
+    ) -> bool {
+        self.engine.should_preempt(incoming, running)
+    }
+
+    fn on_tick(&mut self, ctx: &SchedCtx<'_>) {
+        self.engine.balance(ctx, |_, _| true);
+    }
+
+    fn on_stop(
+        &mut self,
+        _ctx: &SchedCtx<'_>,
+        thread: ThreadId,
+        _core: CoreId,
+        ran: SimDuration,
+        _reason: StopReason,
+    ) {
+        self.engine.charge(thread, ran);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amp_sim::Simulation;
+    use amp_types::{CoreOrder, SimTime};
+    use amp_workloads::{BenchmarkId, Scale, WorkloadSpec};
+
+    fn run_at(bench: BenchmarkId, threads: usize, scale: Scale) -> amp_sim::SimulationOutcome {
+        let machine = MachineConfig::paper_2b2s(CoreOrder::BigFirst);
+        Simulation::build_scaled(&machine, &WorkloadSpec::single(bench, threads), 5, scale)
+            .unwrap()
+            .run(&mut CfsScheduler::new(&machine))
+            .unwrap()
+    }
+
+    #[test]
+    fn completes_every_benchmark_shape() {
+        for bench in [
+            BenchmarkId::Blackscholes,
+            BenchmarkId::Ferret,
+            BenchmarkId::Fluidanimate,
+            BenchmarkId::Swaptions,
+            BenchmarkId::Radix,
+        ] {
+            let outcome = run_at(bench, 6, Scale::quick());
+            assert!(outcome.makespan > SimTime::ZERO, "{bench} did not run");
+        }
+    }
+
+    #[test]
+    fn vruntime_fairness_on_identical_threads_symmetric_machine() {
+        // On a *symmetric* machine CFS time-fairness implies equal run
+        // times for identical threads. (On an AMP it deliberately does
+        // not — equal CPU time is unequal progress; that asymmetry-
+        // blindness is exactly what the paper exploits.)
+        let machine = MachineConfig::all_big(4);
+        let outcome = Simulation::build_scaled(
+            &machine,
+            &WorkloadSpec::single(BenchmarkId::Blackscholes, 8),
+            5,
+            Scale::new(0.5),
+        )
+        .unwrap()
+        .run(&mut CfsScheduler::new(&machine))
+        .unwrap();
+        let runs: Vec<f64> = outcome
+            .threads
+            .iter()
+            .map(|t| t.run_time.as_secs_f64())
+            .collect();
+        let max = runs.iter().cloned().fold(0.0, f64::max);
+        let min = runs.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            max / min < 1.35,
+            "unfair split under CFS: max {max}, min {min}"
+        );
+    }
+
+    #[test]
+    fn engine_enqueue_dequeue_round_trip() {
+        let mut e = CfsEngine::new(2);
+        e.reset(3);
+        e.enqueue(ThreadId::new(0), CoreId::new(0));
+        e.enqueue(ThreadId::new(1), CoreId::new(0));
+        assert_eq!(e.nr_queued(CoreId::new(0)), 2);
+        assert!(e.dequeue(ThreadId::new(0)));
+        assert!(!e.dequeue(ThreadId::new(0)), "double dequeue is a no-op");
+        assert_eq!(e.pop_local(CoreId::new(0)), Some(ThreadId::new(1)));
+        assert_eq!(e.pop_local(CoreId::new(0)), None);
+    }
+
+    #[test]
+    fn engine_orders_by_vruntime() {
+        let mut e = CfsEngine::new(1);
+        e.reset(2);
+        e.charge(ThreadId::new(0), SimDuration::from_millis(5));
+        e.enqueue(ThreadId::new(0), CoreId::new(0));
+        e.enqueue(ThreadId::new(1), CoreId::new(0));
+        // Thread 1 has lower vruntime; it goes first.
+        assert_eq!(e.pop_local(CoreId::new(0)), Some(ThreadId::new(1)));
+    }
+
+    #[test]
+    fn min_vruntime_forgives_long_sleepers() {
+        let mut e = CfsEngine::new(1);
+        e.reset(2);
+        e.charge(ThreadId::new(0), SimDuration::from_millis(100));
+        e.enqueue(ThreadId::new(0), CoreId::new(0));
+        e.pop_local(CoreId::new(0));
+        // min_vruntime advanced to 100ms; a fresh enqueue of thread 1 is
+        // placed at the minimum, not at 0 (no starvation of thread 0).
+        e.enqueue(ThreadId::new(1), CoreId::new(0));
+        assert_eq!(e.vruntime(ThreadId::new(1)), 100_000_000);
+    }
+
+    #[test]
+    fn wakeup_preemption_threshold() {
+        let mut e = CfsEngine::new(1);
+        e.reset(2);
+        e.charge(ThreadId::new(0), SimDuration::from_millis(3));
+        // Incoming thread 1 (vruntime 0) leads by 3 ms > 1 ms granularity.
+        assert!(e.should_preempt(ThreadId::new(1), ThreadId::new(0)));
+        // The reverse must not preempt.
+        assert!(!e.should_preempt(ThreadId::new(0), ThreadId::new(1)));
+    }
+}

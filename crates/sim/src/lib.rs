@@ -1,0 +1,49 @@
+//! Discrete-event simulator of an asymmetric multicore machine.
+//!
+//! This crate is the reproduction's substitute for gem5 + the Linux kernel
+//! runtime: it executes multiprogrammed workloads (from `amp-workloads`) on
+//! a configurable big.LITTLE machine (from `amp-types`), routing every
+//! blocking interaction through the futex subsystem (`amp-futex`) and
+//! synthesizing per-thread PMU counters (`amp-perf`) every 10 ms — the same
+//! sampling period the paper's runtime uses.
+//!
+//! Scheduling policy is pluggable through the [`Scheduler`] trait, whose
+//! hooks mirror the kernel functions the paper overrides:
+//!
+//! | Kernel function                | Trait hook                  |
+//! |--------------------------------|-----------------------------|
+//! | `select_task_rq_fair()`        | [`Scheduler::enqueue`]      |
+//! | `pick_next_task_fair()`        | [`Scheduler::pick_next`]    |
+//! | `wakeup_preempt_entity()`      | [`Scheduler::should_preempt`] + [`Scheduler::time_slice`] |
+//! | 10 ms labelling in `__sched__schedule()` | [`Scheduler::on_tick`] |
+//!
+//! # Examples
+//!
+//! ```
+//! use amp_sim::{Simulation, RoundRobin};
+//! use amp_types::{CoreOrder, MachineConfig, SimTime};
+//! use amp_workloads::{BenchmarkId, Scale, WorkloadSpec};
+//!
+//! let machine = MachineConfig::paper_2b2s(CoreOrder::BigFirst);
+//! let workload = WorkloadSpec::single(BenchmarkId::Blackscholes, 4);
+//! let sim = Simulation::build_scaled(&machine, &workload, 1, Scale::quick()).unwrap();
+//! let outcome = sim.run(&mut RoundRobin::new()).unwrap();
+//! assert!(outcome.makespan > SimTime::ZERO);
+//! assert_eq!(outcome.apps.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+mod outcome;
+mod params;
+mod rr;
+mod sched;
+mod trace;
+
+pub use engine::Simulation;
+pub use outcome::{AppOutcome, EnergyReport, SimulationOutcome, ThreadStats};
+pub use params::{PowerModel, SimParams};
+pub use rr::RoundRobin;
+pub use sched::{EnqueueReason, Pick, SchedCtx, Scheduler, StopReason, ThreadPhase};
+pub use trace::{Trace, TraceEvent};

@@ -1,0 +1,128 @@
+//! Results of a completed simulation.
+
+use amp_perf::PmuCounters;
+use amp_types::{AppId, SimDuration, SimTime, ThreadId};
+
+/// Per-thread accounting at the end of a run.
+#[derive(Debug, Clone)]
+pub struct ThreadStats {
+    /// The thread.
+    pub id: ThreadId,
+    /// Owning application.
+    pub app: AppId,
+    /// Role name from the workload spec.
+    pub name: String,
+    /// When the thread's program completed.
+    pub finish: SimTime,
+    /// CPU time consumed (wall time on a core, including both kinds).
+    pub run_time: SimDuration,
+    /// CPU time on big cores.
+    pub big_time: SimDuration,
+    /// CPU time on little cores.
+    pub little_time: SimDuration,
+    /// Big-core-equivalent work retired (the program's compute demand).
+    pub work_done: SimDuration,
+    /// Time spent blocked on futexes.
+    pub blocked_time: SimDuration,
+    /// Time spent runnable but queued.
+    pub ready_time: SimDuration,
+    /// Cumulative time this thread caused others to wait (criticality).
+    pub caused_wait: SimDuration,
+    /// Completed futex waits.
+    pub wait_count: u64,
+    /// Times the thread changed core.
+    pub migrations: u64,
+    /// Times the thread was preempted before its slice ended.
+    pub preemptions: u64,
+    /// Lifetime PMU accumulation (training data source).
+    pub pmu_total: PmuCounters,
+    /// Instructions committed.
+    pub insts: f64,
+}
+
+/// Per-application outcome.
+#[derive(Debug, Clone)]
+pub struct AppOutcome {
+    /// The application.
+    pub id: AppId,
+    /// Application name (benchmark name).
+    pub name: String,
+    /// Turnaround time: start (t=0) to last thread completion.
+    pub turnaround: SimDuration,
+}
+
+/// Energy accounting for one run, from the configured
+/// [`PowerModel`](crate::PowerModel): every core draws its active power
+/// while busy and its idle power for the rest of the makespan.
+#[derive(Debug, Clone)]
+pub struct EnergyReport {
+    /// Joules per core, indexed by core id.
+    pub per_core_joules: Vec<f64>,
+    /// Joules spent executing.
+    pub active_joules: f64,
+    /// Joules spent idling (leakage + clock-gated floor).
+    pub idle_joules: f64,
+}
+
+impl EnergyReport {
+    /// Total energy of the run.
+    pub fn total_joules(&self) -> f64 {
+        self.active_joules + self.idle_joules
+    }
+}
+
+/// Everything measured from one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimulationOutcome {
+    /// Name of the scheduling policy that produced this run.
+    pub scheduler: String,
+    /// Completion time of the whole workload.
+    pub makespan: SimTime,
+    /// Per-application turnarounds, indexed by [`AppId`].
+    pub apps: Vec<AppOutcome>,
+    /// Per-thread accounting, indexed by [`ThreadId`].
+    pub threads: Vec<ThreadStats>,
+    /// Context switches across all cores.
+    pub context_switches: u64,
+    /// Thread migrations across all cores.
+    pub migrations: u64,
+    /// Per-core busy time, indexed by core id.
+    pub core_busy: Vec<SimDuration>,
+    /// Energy accounting under the configured power model.
+    pub energy: EnergyReport,
+    /// Scheduling trace (empty unless
+    /// [`SimParams::trace_capacity`](crate::SimParams) was set).
+    pub trace: crate::Trace,
+}
+
+impl SimulationOutcome {
+    /// Turnaround of one application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `app` is out of range.
+    pub fn turnaround(&self, app: AppId) -> SimDuration {
+        self.apps[app.index()].turnaround
+    }
+
+    /// Overall CPU utilization in `[0, 1]`: busy core-time over
+    /// `makespan × cores`.
+    pub fn utilization(&self) -> f64 {
+        if self.makespan == SimTime::ZERO {
+            return 0.0;
+        }
+        let busy: f64 = self.core_busy.iter().map(|d| d.as_secs_f64()).sum();
+        busy / (self.makespan.as_secs_f64() * self.core_busy.len() as f64)
+    }
+
+    /// Total big-core-equivalent work retired by all threads.
+    pub fn total_work(&self) -> SimDuration {
+        self.threads.iter().map(|t| t.work_done).sum()
+    }
+
+    /// Energy-delay product in joule-seconds — the energy-efficiency
+    /// figure of merit for AMP scheduling.
+    pub fn edp(&self) -> f64 {
+        self.energy.total_joules() * self.makespan.as_secs_f64()
+    }
+}

@@ -1,0 +1,87 @@
+//! A deliberately simple reference scheduler.
+//!
+//! [`RoundRobin`] keeps one global FIFO runqueue and hands threads to cores
+//! in arrival order with a fixed slice. It is not part of the paper's
+//! evaluation; it exists as the simplest possible correct policy, used by
+//! the simulator's own tests and as a template for custom schedulers.
+
+use amp_types::{CoreId, SimDuration, ThreadId};
+use std::collections::VecDeque;
+
+use crate::sched::{EnqueueReason, Pick, SchedCtx, Scheduler, StopReason};
+
+/// Global-FIFO round-robin with a fixed 4 ms slice.
+///
+/// # Examples
+///
+/// ```
+/// use amp_sim::{RoundRobin, Scheduler};
+/// let rr = RoundRobin::new();
+/// assert_eq!(rr.name(), "round-robin");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    queue: VecDeque<ThreadId>,
+}
+
+impl RoundRobin {
+    /// Creates the scheduler.
+    pub fn new() -> RoundRobin {
+        RoundRobin::default()
+    }
+
+    /// Threads currently queued (not running, not blocked).
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn init(&mut self, _ctx: &SchedCtx<'_>) {
+        self.queue.clear();
+    }
+
+    fn enqueue(&mut self, _ctx: &SchedCtx<'_>, thread: ThreadId, _reason: EnqueueReason) -> CoreId {
+        self.queue.push_back(thread);
+        // A single global queue: report core 0; the simulator kicks all
+        // idle cores after every enqueue anyway.
+        CoreId::new(0)
+    }
+
+    fn pick_next(&mut self, _ctx: &SchedCtx<'_>, _core: CoreId) -> Pick {
+        match self.queue.pop_front() {
+            Some(t) => Pick::Run(t),
+            None => Pick::Idle,
+        }
+    }
+
+    fn time_slice(&self, _ctx: &SchedCtx<'_>, _t: ThreadId, _c: CoreId) -> SimDuration {
+        SimDuration::from_millis(4)
+    }
+
+    fn should_preempt(
+        &self,
+        _ctx: &SchedCtx<'_>,
+        _incoming: ThreadId,
+        _core: CoreId,
+        _running: ThreadId,
+    ) -> bool {
+        false
+    }
+
+    fn on_tick(&mut self, _ctx: &SchedCtx<'_>) {}
+
+    fn on_stop(
+        &mut self,
+        _ctx: &SchedCtx<'_>,
+        _thread: ThreadId,
+        _core: CoreId,
+        _ran: SimDuration,
+        _reason: StopReason,
+    ) {
+    }
+}

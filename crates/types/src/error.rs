@@ -1,0 +1,80 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias for results carrying the workspace [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the simulation and experiment layers.
+///
+/// # Examples
+///
+/// ```
+/// use amp_types::Error;
+/// let err = Error::InvalidConfig("no big cores".into());
+/// assert!(err.to_string().contains("no big cores"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A machine/workload/scheduler configuration was inconsistent.
+    InvalidConfig(String),
+    /// A simulation exceeded its configured horizon without finishing —
+    /// almost always a deadlocked or livelocked workload.
+    HorizonExceeded {
+        /// Human-readable description of the stuck state.
+        detail: String,
+    },
+    /// The workload deadlocked: no runnable thread and no pending event.
+    Deadlock {
+        /// Threads still blocked when the event queue drained.
+        blocked: usize,
+    },
+    /// A model was used before it was trained.
+    ModelNotTrained,
+    /// Numerical failure in the offline training pipeline.
+    Numerical(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::HorizonExceeded { detail } => {
+                write!(f, "simulation horizon exceeded: {detail}")
+            }
+            Error::Deadlock { blocked } => {
+                write!(f, "workload deadlocked with {blocked} blocked threads")
+            }
+            Error::ModelNotTrained => f.write_str("speedup model used before training"),
+            Error::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let msgs = [
+            Error::InvalidConfig("x".into()).to_string(),
+            Error::HorizonExceeded { detail: "y".into() }.to_string(),
+            Error::Deadlock { blocked: 3 }.to_string(),
+            Error::ModelNotTrained.to_string(),
+            Error::Numerical("z".into()).to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

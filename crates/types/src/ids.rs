@@ -1,0 +1,113 @@
+//! Strongly-typed identifiers.
+//!
+//! Every entity in the simulation — threads, applications, cores, and the
+//! synchronization objects built on the futex substrate — is referred to by a
+//! dense integer id wrapped in a newtype, so that a [`ThreadId`] can never be
+//! confused with a [`CoreId`] at compile time. Dense ids double as indices
+//! into per-entity arenas throughout the workspace.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates the identifier from a dense index.
+            pub const fn new(index: u32) -> Self {
+                $name(index)
+            }
+
+            /// The dense index, usable directly as an arena subscript.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(index: u32) -> Self {
+                $name(index)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a simulated thread (the unit of scheduling).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use amp_types::ThreadId;
+    /// let t = ThreadId::new(3);
+    /// assert_eq!(t.index(), 3);
+    /// assert_eq!(t.to_string(), "T3");
+    /// ```
+    ThreadId,
+    "T"
+);
+define_id!(
+    /// Identifies an application (program) in a multiprogrammed workload.
+    AppId,
+    "A"
+);
+define_id!(
+    /// Identifies a hardware core of the simulated machine.
+    CoreId,
+    "C"
+);
+define_id!(
+    /// Identifies a futex-backed mutual-exclusion lock.
+    LockId,
+    "L"
+);
+define_id!(
+    /// Identifies a futex-backed barrier.
+    BarrierId,
+    "B"
+);
+define_id!(
+    /// Identifies a futex-backed bounded channel (pipeline queue).
+    ChannelId,
+    "Q"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(ThreadId::new(1) < ThreadId::new(2));
+        assert_eq!(CoreId::new(7).index(), 7);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let id = AppId::from(9u32);
+        assert_eq!(u32::from(id), 9);
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(LockId::new(0).to_string(), "L0");
+        assert_eq!(BarrierId::new(2).to_string(), "B2");
+        assert_eq!(ChannelId::new(4).to_string(), "Q4");
+        assert_eq!(CoreId::new(1).to_string(), "C1");
+        assert_eq!(AppId::new(5).to_string(), "A5");
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests for the time arithmetic: the `SimTime`/`SimDuration`
+//! algebra must satisfy the instant/duration laws for arbitrary values.
+
+use amp_types::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn add_then_subtract_round_trips(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let t0 = SimTime::from_nanos(t);
+        let dur = SimDuration::from_nanos(d);
+        prop_assert_eq!((t0 + dur) - dur, t0);
+        prop_assert_eq!((t0 + dur) - t0, dur);
+    }
+
+    #[test]
+    fn duration_addition_is_commutative_and_associative(
+        a in 0u64..u64::MAX / 4,
+        b in 0u64..u64::MAX / 4,
+        c in 0u64..u64::MAX / 4,
+    ) {
+        let (a, b, c) = (
+            SimDuration::from_nanos(a),
+            SimDuration::from_nanos(b),
+            SimDuration::from_nanos(c),
+        );
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn saturating_since_never_panics_and_orders(x in any::<u64>(), y in any::<u64>()) {
+        let (tx, ty) = (SimTime::from_nanos(x), SimTime::from_nanos(y));
+        let forward = ty.saturating_since(tx);
+        let backward = tx.saturating_since(ty);
+        // At most one direction is non-zero (both zero iff equal).
+        prop_assert!(forward.is_zero() || backward.is_zero());
+        if x < y {
+            prop_assert_eq!(forward.as_nanos(), y - x);
+        }
+    }
+
+    #[test]
+    fn mul_div_f64_are_approximate_inverses(
+        d in 1_000u64..1_000_000_000,
+        factor in 0.01f64..100.0,
+    ) {
+        let dur = SimDuration::from_nanos(d);
+        let round_trip = dur.mul_f64(factor).div_f64(factor);
+        let err = round_trip.as_nanos().abs_diff(dur.as_nanos());
+        // One rounding step each way.
+        let bound = (1.0 / factor).ceil() as u64 + 2;
+        prop_assert!(err <= bound, "err {err} > bound {bound}");
+    }
+
+    #[test]
+    fn scalar_mul_matches_repeated_addition(d in 0u64..1_000_000, k in 0u64..100) {
+        let dur = SimDuration::from_nanos(d);
+        let repeated: SimDuration = std::iter::repeat_n(dur, k as usize).sum();
+        prop_assert_eq!(dur * k, repeated);
+    }
+
+    #[test]
+    fn ordering_is_translation_invariant(
+        a in 0u64..u64::MAX / 4,
+        b in 0u64..u64::MAX / 4,
+        shift in 0u64..u64::MAX / 4,
+    ) {
+        let (ta, tb) = (SimTime::from_nanos(a), SimTime::from_nanos(b));
+        let s = SimDuration::from_nanos(shift);
+        prop_assert_eq!(ta.cmp(&tb), (ta + s).cmp(&(tb + s)));
+    }
+}

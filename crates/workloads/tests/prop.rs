@@ -1,0 +1,120 @@
+//! Property tests for behaviour programs: the resumable [`Cursor`] must
+//! agree exactly with a naive recursive expansion of the op tree, and the
+//! static analyses (`flat_len`, `total_compute`, `action_census`) must
+//! agree with what the cursor actually yields.
+
+use amp_types::{BarrierId, ChannelId, LockId, SimDuration};
+use amp_workloads::{Action, Cursor, Op, Program};
+use proptest::prelude::*;
+
+/// Recursively expands a program the obvious (memory-hungry) way.
+fn naive_expand(ops: &[Op], out: &mut Vec<Action>) {
+    for op in ops {
+        match op {
+            Op::Compute(d) => out.push(Action::Compute(*d)),
+            Op::Lock(l) => out.push(Action::Lock(*l)),
+            Op::Unlock(l) => out.push(Action::Unlock(*l)),
+            Op::Barrier(b) => out.push(Action::Barrier(*b)),
+            Op::Push(c) => out.push(Action::Push(*c)),
+            Op::Pop(c) => out.push(Action::Pop(*c)),
+            Op::SetProfile(p) => out.push(Action::SetProfile(*p)),
+            Op::Loop { count, body } => {
+                for _ in 0..*count {
+                    naive_expand(body, out);
+                }
+            }
+        }
+    }
+}
+
+fn leaf_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..1000).prop_map(|us| Op::Compute(SimDuration::from_micros(us))),
+        (0u32..4).prop_map(|i| Op::Lock(LockId::new(i))),
+        (0u32..4).prop_map(|i| Op::Unlock(LockId::new(i))),
+        (0u32..2).prop_map(|i| Op::Barrier(BarrierId::new(i))),
+        (0u32..3).prop_map(|i| Op::Push(ChannelId::new(i))),
+        (0u32..3).prop_map(|i| Op::Pop(ChannelId::new(i))),
+        (0.0f64..1.0, 0.0f64..1.0).prop_map(|(ilp, mem)| {
+            Op::SetProfile(amp_perf::ExecutionProfile::new(
+                ilp, mem, 0.5, 0.5, 0.5, 0.5, 0.1,
+            ))
+        }),
+    ]
+}
+
+/// Op trees up to depth 3 with small loop counts.
+fn op_tree() -> impl Strategy<Value = Op> {
+    leaf_op().prop_recursive(3, 64, 6, |inner| {
+        (0u32..5, proptest::collection::vec(inner, 0..6))
+            .prop_map(|(count, body)| Op::Loop { count, body })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cursor_matches_naive_expansion(ops in proptest::collection::vec(op_tree(), 0..8)) {
+        let program = Program::new(ops);
+        let mut expected = Vec::new();
+        naive_expand(program.ops(), &mut expected);
+
+        let mut cursor = Cursor::new();
+        let mut actual = Vec::new();
+        while let Some(a) = cursor.next(&program) {
+            actual.push(a);
+            prop_assert!(actual.len() <= expected.len(), "cursor over-produces");
+        }
+        prop_assert_eq!(actual, expected);
+        prop_assert!(cursor.is_finished() || program.flat_len() == 0);
+    }
+
+    #[test]
+    fn static_analyses_agree_with_cursor(ops in proptest::collection::vec(op_tree(), 0..8)) {
+        let program = Program::new(ops);
+        let mut cursor = Cursor::new();
+        let mut n = 0u64;
+        let mut compute = SimDuration::ZERO;
+        let mut census = (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
+        while let Some(a) = cursor.next(&program) {
+            n += 1;
+            match a {
+                Action::Compute(d) => {
+                    compute += d;
+                    census.0 += 1;
+                }
+                Action::Lock(_) => census.1 += 1,
+                Action::Unlock(_) => census.2 += 1,
+                Action::Barrier(_) => census.3 += 1,
+                Action::Push(_) => census.4 += 1,
+                Action::Pop(_) => census.5 += 1,
+                Action::SetProfile(_) => {}
+            }
+        }
+        prop_assert_eq!(n, program.flat_len());
+        prop_assert_eq!(compute, program.total_compute());
+        prop_assert_eq!(census, program.action_census());
+    }
+
+    #[test]
+    fn cursor_clone_resumes_identically(
+        ops in proptest::collection::vec(op_tree(), 1..6),
+        split in 0usize..64,
+    ) {
+        let program = Program::new(ops);
+        let mut reference = Cursor::new();
+        let mut prefix = Vec::new();
+        for _ in 0..split {
+            match reference.next(&program) {
+                Some(a) => prefix.push(a),
+                None => break,
+            }
+        }
+        // A cloned cursor must continue exactly where the original was.
+        let mut forked = reference.clone();
+        let rest_ref: Vec<_> = std::iter::from_fn(|| reference.next(&program)).collect();
+        let rest_fork: Vec<_> = std::iter::from_fn(|| forked.next(&program)).collect();
+        prop_assert_eq!(rest_ref, rest_fork);
+    }
+}

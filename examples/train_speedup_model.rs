@@ -1,0 +1,37 @@
+//! The offline speedup-model pipeline of §4.1 / Table 2, end to end:
+//! symmetric big-only + little-only runs of every benchmark, PCA counter
+//! selection, linear regression, and a held-out accuracy report.
+//!
+//! ```text
+//! cargo run --release --example train_speedup_model
+//! ```
+
+use colab_suite::experiments::training;
+use colab_suite::perf::SpeedupModel;
+use colab_suite::workloads::Scale;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build the corpus: per-thread big-core counters labelled with the
+    //    measured big-vs-little runtime ratio (seed 42 ≙ the harness).
+    let set = training::build_training_set(4, 42, Scale::default())?;
+    println!("training corpus: {} thread observations", set.len());
+
+    // 2. PCA-select 6 counters and fit the linear model.
+    let model = SpeedupModel::train(&set, training::SELECTED_COUNTERS)?;
+    println!("\n{}\n", model.table2_string());
+
+    // 3. Held-out sanity check against a corpus from a different seed.
+    let held_out = training::build_training_set(4, 1234, Scale::default())?;
+    let mut abs_err = 0.0;
+    for (pmu, truth) in held_out.rows() {
+        abs_err += (model.predict(pmu) - truth).abs();
+    }
+    let mae = abs_err / held_out.len() as f64;
+    println!("held-out mean absolute error: {mae:.3} (speedup units)");
+    println!(
+        "training R^2: {:.3} over {} rows",
+        model.r_squared(),
+        set.len()
+    );
+    Ok(())
+}
