@@ -57,5 +57,6 @@ fn main() {
         }
         let idle_ratio: f64 = 1.0 - out.utilization();
         println!("  idle fraction {:.3}", idle_ratio);
+        print!("{}", out.telemetry);
     }
 }

@@ -3,18 +3,27 @@
 //! ```text
 //! repro [--scale F] [--heuristic-model] [--table2|--table3|--table4]
 //!       [--fig4|--fig5|--fig6|--fig7|--fig8|--fig9] [--summary]
-//!       [--ablation] [--all]
+//!       [--ablation] [--all] [--csv DIR] [--trace-json DIR]
 //! ```
 //!
 //! With no selection flags, `--all` is assumed. `--scale` shrinks the
 //! workloads (default 1.0, the calibrated full size); the shapes are
 //! stable down to about 0.25. `--heuristic-model` skips the offline
 //! training run and uses the analytic speedup model.
+//!
+//! `--summary` also prints the per-scheduler decision-telemetry block
+//! (migrations by direction, preemptions by cause, label flows,
+//! speedup-model error, and latency percentiles), pooled over every
+//! cell the invocation evaluated. `--csv DIR` includes a per-cell
+//! `telemetry.csv`; `--trace-json DIR` writes one Chrome trace-event
+//! JSON per scheduler (open in Perfetto or `chrome://tracing`).
 
 use std::process::ExitCode;
 use std::time::Instant;
 
+use amp_workloads::{BenchmarkId, WorkloadSpec};
 use colab::experiments;
+use colab::SchedulerKind;
 
 struct Options {
     scale: f64,
@@ -22,6 +31,7 @@ struct Options {
     replications: u32,
     targets: Vec<String>,
     csv_dir: Option<std::path::PathBuf>,
+    trace_dir: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -29,6 +39,7 @@ fn parse_args() -> Result<Options, String> {
     let mut train = true;
     let mut targets = Vec::new();
     let mut csv_dir = None;
+    let mut trace_dir = None;
     let mut replications = 1u32;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -43,6 +54,10 @@ fn parse_args() -> Result<Options, String> {
             "--csv" => {
                 let dir = args.next().ok_or("--csv needs a directory")?;
                 csv_dir = Some(std::path::PathBuf::from(dir));
+            }
+            "--trace-json" => {
+                let dir = args.next().ok_or("--trace-json needs a directory")?;
+                trace_dir = Some(std::path::PathBuf::from(dir));
             }
             "--scale" => {
                 let value = args.next().ok_or("--scale needs a value")?;
@@ -59,7 +74,7 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unrecognized argument {other}")),
         }
     }
-    if targets.is_empty() && csv_dir.is_none() {
+    if targets.is_empty() && csv_dir.is_none() && trace_dir.is_none() {
         targets.push("all".into());
     }
     Ok(Options {
@@ -68,7 +83,24 @@ fn parse_args() -> Result<Options, String> {
         replications,
         targets,
         csv_dir,
+        trace_dir,
     })
+}
+
+/// Writes one Chrome trace per scheduler for a representative
+/// sync-heavy workload (pipeline-parallel ferret on 2B+2S).
+fn export_chrome_traces(dir: &std::path::Path, scale: f64) -> Result<Vec<String>, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let spec = WorkloadSpec::single(BenchmarkId::Ferret, 6);
+    let mut written = Vec::new();
+    for kind in SchedulerKind::EXTENDED {
+        let json = colab_bench::chrome_trace_json(&spec, kind, scale);
+        let name = format!("{}-{}.json", spec.name(), kind.name());
+        std::fs::write(dir.join(&name), json)
+            .map_err(|e| format!("writing {name}: {e}"))?;
+        written.push(name);
+    }
+    Ok(written)
 }
 
 fn main() -> ExitCode {
@@ -85,6 +117,21 @@ fn main() -> ExitCode {
             .iter()
             .any(|t| t == name || t == "all")
     };
+
+    if let Some(dir) = &options.trace_dir {
+        match export_chrome_traces(dir, options.scale) {
+            Ok(files) => {
+                eprintln!("wrote {} Chrome traces to {}", files.len(), dir.display());
+            }
+            Err(e) => {
+                eprintln!("error writing Chrome traces: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if options.targets.is_empty() && options.csv_dir.is_none() {
+            return ExitCode::SUCCESS;
+        }
+    }
 
     let start = Instant::now();
     eprintln!(
@@ -137,6 +184,15 @@ fn main() -> ExitCode {
     figure!("fairness", experiments::fairness);
     figure!("freqsweep", experiments::frequency_sweep);
     figure!("staggered", experiments::staggered);
+
+    if wants("summary") {
+        println!("scheduler decision telemetry (pooled over evaluated cells, per run):");
+        for (name, report) in harness.telemetry_by_scheduler() {
+            println!("[{name}]");
+            print!("{report}");
+        }
+        println!();
+    }
 
     if wants("check") {
         match experiments::shape_check(&mut harness) {

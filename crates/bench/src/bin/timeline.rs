@@ -10,7 +10,13 @@
 //!
 //! Each row is a core; each letter is the thread running there (`A` =
 //! thread 0); `.` is idle time. The legend maps letters to thread roles
-//! and criticality.
+//! and criticality, and a decision-telemetry block summarizes the run.
+//!
+//! The execution trace is bounded ([`SimParams::trace_capacity`]):
+//! recording stops once the buffer fills and later events are *dropped*
+//! (drop-newest), so the Gantt chart only covers the traced prefix.
+//! The telemetry event ring is bounded too but keeps the most *recent*
+//! events (drop-oldest). Both report how much was dropped.
 
 use amp_perf::SpeedupModel;
 use amp_sim::{SimParams, Simulation};
@@ -49,6 +55,7 @@ fn main() {
     let machine = MachineConfig::paper_2b2s(CoreOrder::BigFirst);
     let params = SimParams {
         trace_capacity: 1 << 18,
+        event_capacity: 1 << 16,
         ..SimParams::default()
     };
     let apps = spec.instantiate(42, Scale::new(scale));
@@ -84,6 +91,13 @@ fn main() {
         );
     }
     if outcome.trace.dropped() > 0 {
-        println!("({} trace events dropped)", outcome.trace.dropped());
+        println!(
+            "(trace full: {} later events dropped — the chart covers only \
+             the traced prefix; raise trace_capacity for longer runs)",
+            outcome.trace.dropped()
+        );
     }
+
+    println!("\ndecision telemetry:");
+    print!("{}", outcome.telemetry);
 }

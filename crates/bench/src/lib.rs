@@ -2,8 +2,13 @@
 
 #![warn(missing_docs)]
 
-use colab::{ExperimentConfig, Harness};
-use amp_workloads::Scale;
+use amp_perf::SpeedupModel;
+use amp_sim::telemetry::chrome::ChromeTrace;
+use amp_sim::telemetry::SchedEvent;
+use amp_sim::{SimParams, Simulation, SimulationOutcome, TraceEvent};
+use amp_types::{CoreOrder, MachineConfig, SimTime, ThreadId};
+use amp_workloads::{Scale, WorkloadSpec};
+use colab::{ExperimentConfig, Harness, SchedulerKind};
 
 /// Builds a harness at the given scale, optionally with the trained
 /// Table 2 model (the full pipeline) instead of the analytic heuristic.
@@ -30,4 +35,142 @@ pub fn harness_with(scale: f64, train: bool, replications: u32) -> Harness {
         ..ExperimentConfig::default()
     };
     Harness::new(config).expect("harness construction succeeds")
+}
+
+/// Runs `spec` under `kind` on the paper's 2B+2S machine with both the
+/// execution trace and the telemetry event ring enabled, then renders
+/// the run as Chrome trace-event JSON (loadable in Perfetto or
+/// `chrome://tracing`). Used by `repro --trace-json`.
+///
+/// # Panics
+///
+/// Panics if the workload fails to build or the simulation fails — both
+/// mean a broken benchmark model and should fail loudly.
+pub fn chrome_trace_json(spec: &WorkloadSpec, kind: SchedulerKind, scale: f64) -> String {
+    let machine = MachineConfig::paper_2b2s(CoreOrder::BigFirst);
+    let params = SimParams {
+        trace_capacity: 1 << 18,
+        event_capacity: 1 << 16,
+        ..SimParams::default()
+    };
+    let apps = spec.instantiate(42, Scale::new(scale));
+    let sim = Simulation::from_apps_with_params(&machine, apps, 42, params)
+        .expect("workload builds");
+    let mut sched = kind.create(&machine, &SpeedupModel::heuristic());
+    let outcome = sim.run(sched.as_mut()).expect("simulation completes");
+    render_chrome_trace(&machine, &outcome)
+}
+
+/// Renders a finished run (with tracing enabled) as Chrome trace-event
+/// JSON: one viewer row per core, a slice per dispatch→stop span, and
+/// instant markers for the recorded scheduler decision events. `Pick`
+/// events are omitted — every slice already is one.
+pub fn render_chrome_trace(machine: &MachineConfig, outcome: &SimulationOutcome) -> String {
+    const PID: u64 = 1;
+    let mut trace = ChromeTrace::new();
+    trace.process_name(PID, &format!("{} on {machine}", outcome.scheduler));
+    for (id, spec) in machine.iter() {
+        trace.thread_name(PID, id.index() as u64, &format!("{} core {}", spec.kind, id.index()));
+    }
+    let us = |t: SimTime| t.as_nanos() as f64 / 1e3;
+    let thread_name = |t: ThreadId| {
+        outcome
+            .threads
+            .get(t.index())
+            .map_or_else(|| format!("t{}", t.index()), |s| s.name.clone())
+    };
+
+    let mut open: Vec<Option<(SimTime, ThreadId)>> = vec![None; machine.num_cores()];
+    for event in outcome.trace.events() {
+        match *event {
+            TraceEvent::Dispatch { at, core, thread } => {
+                open[core.index()] = Some((at, thread));
+            }
+            TraceEvent::Stop { at, core, thread: _, reason } => {
+                if let Some((from, t)) = open[core.index()].take() {
+                    trace.complete(
+                        &thread_name(t),
+                        "exec",
+                        PID,
+                        core.index() as u64,
+                        us(from),
+                        us(at) - us(from),
+                        &[
+                            ("thread", t.index().to_string()),
+                            ("stop", format!("{reason:?}")),
+                        ],
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    for (ci, entry) in open.iter().enumerate() {
+        if let Some((from, t)) = *entry {
+            trace.complete(
+                &thread_name(t),
+                "exec",
+                PID,
+                ci as u64,
+                us(from),
+                us(outcome.makespan) - us(from),
+                &[("thread", t.index().to_string()), ("stop", "horizon".into())],
+            );
+        }
+    }
+
+    for stamped in &outcome.telemetry_events {
+        let (name, args): (&str, Vec<(&str, String)>) = match stamped.event {
+            SchedEvent::Pick { .. } => continue,
+            SchedEvent::Migrate { thread, from, to, direction } => (
+                "migrate",
+                vec![
+                    ("thread", thread_name(thread)),
+                    ("from", from.index().to_string()),
+                    ("to", to.index().to_string()),
+                    ("dir", direction.label().into()),
+                ],
+            ),
+            SchedEvent::Preempt { victim, cause } => (
+                "preempt",
+                vec![
+                    ("victim", thread_name(victim)),
+                    ("cause", cause.label().into()),
+                ],
+            ),
+            SchedEvent::Relabel { thread, from, to } => (
+                "relabel",
+                vec![
+                    ("thread", thread_name(thread)),
+                    ("from", from.label().into()),
+                    ("to", to.label().into()),
+                ],
+            ),
+            SchedEvent::SlicePredict { thread, predicted_speedup, slice } => (
+                "slice_predict",
+                vec![
+                    ("thread", thread_name(thread)),
+                    ("speedup", format!("{predicted_speedup:.2}")),
+                    ("slice", slice.to_string()),
+                ],
+            ),
+            SchedEvent::FutexWake { waker, woken, blocked } => (
+                "futex_wake",
+                vec![
+                    ("waker", thread_name(waker)),
+                    ("woken", thread_name(woken)),
+                    ("blocked", blocked.to_string()),
+                ],
+            ),
+            SchedEvent::IdleSteal { thread, from } => (
+                "idle_steal",
+                vec![
+                    ("thread", thread_name(thread)),
+                    ("from_core", from.index().to_string()),
+                ],
+            ),
+        };
+        trace.instant(name, "sched", PID, stamped.core.index() as u64, us(stamped.at), &args);
+    }
+    trace.to_json()
 }

@@ -1,0 +1,64 @@
+//! The Chrome trace exporter emits well-formed, non-trivial JSON for
+//! every scheduler.
+
+use amp_workloads::{BenchmarkId, WorkloadSpec};
+use colab::SchedulerKind;
+use colab_bench::chrome_trace_json;
+
+/// Minimal structural validator: balanced brackets outside strings,
+/// terminated strings — enough to prove well-formedness without a JSON
+/// parser dependency.
+fn check_json_object(text: &str) {
+    let mut depth = 0i32;
+    let mut in_string = false;
+    let mut escaped = false;
+    for ch in text.chars() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if ch == '\\' {
+                escaped = true;
+            } else if ch == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match ch {
+            '"' => in_string = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                assert!(depth >= 0, "unbalanced brackets");
+            }
+            _ => {}
+        }
+    }
+    assert!(!in_string, "unterminated string");
+    assert_eq!(depth, 0, "unbalanced document");
+}
+
+#[test]
+fn exported_trace_is_valid_and_nontrivial() {
+    let spec = WorkloadSpec::single(BenchmarkId::Ferret, 4);
+    let json = chrome_trace_json(&spec, SchedulerKind::Colab, 0.1);
+    check_json_object(&json);
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("\"ph\":\"X\""), "has execution slices");
+    assert!(json.contains("\"ph\":\"i\""), "has decision markers");
+    assert!(json.contains("thread_name"), "cores are named rows");
+    assert!(json.contains("futex_wake") || json.contains("migrate"));
+}
+
+#[test]
+fn every_scheduler_exports_cleanly() {
+    let spec = WorkloadSpec::single(BenchmarkId::Blackscholes, 4);
+    for kind in SchedulerKind::EXTENDED {
+        let json = chrome_trace_json(&spec, kind, 0.1);
+        check_json_object(&json);
+        assert!(
+            json.contains("\"ph\":\"X\""),
+            "{} trace has slices",
+            kind.name()
+        );
+    }
+}

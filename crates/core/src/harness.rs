@@ -8,6 +8,7 @@ use amp_perf::SpeedupModel;
 use amp_sched::{
     CfsScheduler, ColabScheduler, EqualProgressScheduler, GtsScheduler, Scheduler, WashScheduler,
 };
+use amp_sim::telemetry::TelemetryReport;
 use amp_sim::{SimParams, Simulation};
 use amp_types::{AppId, CoreOrder, MachineConfig, Result, SimDuration};
 use amp_workloads::{BenchmarkId, Scale, WorkloadSpec};
@@ -128,6 +129,9 @@ pub struct Harness {
     baselines: HashMap<(String, usize), Vec<SimDuration>>,
     /// Memoized `(workload, config, scheduler) → summary`.
     cells: HashMap<CellKey, MixSummary>,
+    /// Decision telemetry per cell, absorbed over the core-order pair and
+    /// all replications (so `runs` is `2 × replications`).
+    telemetry: HashMap<CellKey, TelemetryReport>,
 }
 
 impl Harness {
@@ -147,6 +151,7 @@ impl Harness {
             model,
             baselines: HashMap::new(),
             cells: HashMap::new(),
+            telemetry: HashMap::new(),
         })
     }
 
@@ -231,6 +236,7 @@ impl Harness {
         let reps = self.config.replications.max(1);
         let mut sums: Vec<SimDuration> = vec![SimDuration::ZERO; workload.num_apps()];
         let mut names: Vec<String> = Vec::new();
+        let mut telemetry = TelemetryReport::new();
         for rep in 0..reps {
             let seed = self.rep_seed(rep);
             for order in CoreOrder::BOTH {
@@ -247,8 +253,10 @@ impl Harness {
                 for (sum, app) in sums.iter_mut().zip(&outcome.apps) {
                     *sum += app.turnaround;
                 }
+                telemetry.absorb(&outcome.telemetry);
             }
         }
+        self.telemetry.insert(key.clone(), telemetry);
         let divisor = 2 * u64::from(reps);
         let apps: Vec<(String, SimDuration, SimDuration)> = names
             .into_iter()
@@ -286,6 +294,44 @@ impl Harness {
     pub fn cells_evaluated(&self) -> usize {
         self.cells.len()
     }
+
+    /// Decision telemetry of every evaluated cell, as
+    /// `(workload, config, scheduler, report)` rows sorted for
+    /// deterministic output.
+    pub fn telemetry_cells(&self) -> Vec<(&str, &str, &str, &TelemetryReport)> {
+        let mut rows: Vec<_> = self
+            .telemetry
+            .iter()
+            .map(|((w, c, s), report)| (w.as_str(), c.as_str(), *s, report))
+            .collect();
+        rows.sort_unstable_by(|a, b| (a.0, a.1, a.2).cmp(&(b.0, b.1, b.2)));
+        rows
+    }
+
+    /// Telemetry pooled per scheduler over every evaluated cell, in
+    /// [`SchedulerKind`] display order — the `repro --summary` block.
+    pub fn telemetry_by_scheduler(&self) -> Vec<(&'static str, TelemetryReport)> {
+        let order = [
+            SchedulerKind::Linux,
+            SchedulerKind::Gts,
+            SchedulerKind::Wash,
+            SchedulerKind::Colab,
+            SchedulerKind::EqualProgress,
+        ];
+        let mut out = Vec::new();
+        for kind in order {
+            let mut pooled = TelemetryReport::new();
+            for ((_, _, sched), report) in &self.telemetry {
+                if *sched == kind.name() {
+                    pooled.absorb(report);
+                }
+            }
+            if pooled.runs > 0 {
+                out.push((kind.name(), pooled));
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -321,6 +367,39 @@ mod tests {
         // than alone on all-big: H_ANTT ≥ ~1.
         assert!(a.h_antt > 0.95, "H_ANTT {} implausibly low", a.h_antt);
         assert!(a.h_stp <= 2.0 + 1e-9, "H_STP bounded by app count");
+    }
+
+    #[test]
+    fn telemetry_ring_does_not_perturb_results() {
+        // The acceptance property: enabling event recording must leave
+        // every figure bit-for-bit unchanged.
+        let mut quiet = Harness::new(ExperimentConfig::quick()).unwrap();
+        let mut loud_cfg = ExperimentConfig::quick();
+        loud_cfg.sim_params.event_capacity = 1 << 14;
+        let mut loud = Harness::new(loud_cfg).unwrap();
+        let spec = WorkloadSpec::single(BenchmarkId::Blackscholes, 4);
+        let a = quiet.mix(&spec, 2, 2, SchedulerKind::Colab).unwrap();
+        let b = loud.mix(&spec, 2, 2, SchedulerKind::Colab).unwrap();
+        assert_eq!(a.h_antt, b.h_antt, "event recording changed H_ANTT");
+        assert_eq!(a.h_stp, b.h_stp, "event recording changed H_STP");
+    }
+
+    #[test]
+    fn telemetry_accumulates_per_cell_and_per_scheduler() {
+        let mut h = Harness::new(ExperimentConfig::quick()).unwrap();
+        let spec = WorkloadSpec::single(BenchmarkId::Swaptions, 4);
+        h.mix(&spec, 2, 2, SchedulerKind::Colab).unwrap();
+        let cells = h.telemetry_cells();
+        assert_eq!(cells.len(), 1);
+        let (workload, _, sched, report) = cells[0];
+        assert_eq!(workload, "swaptions");
+        assert_eq!(sched, "colab");
+        assert_eq!(report.runs, 2, "one run per core order");
+        assert!(report.counters.picks > 0);
+        let pooled = h.telemetry_by_scheduler();
+        assert_eq!(pooled.len(), 1);
+        assert_eq!(pooled[0].0, "colab");
+        assert_eq!(pooled[0].1.counters.picks, report.counters.picks);
     }
 
     #[test]

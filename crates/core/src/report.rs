@@ -141,6 +141,35 @@ pub fn staggered_csv(study: &Staggered) -> String {
     out
 }
 
+/// Decision-telemetry rows, one per evaluated `(workload, config,
+/// scheduler)` cell: counts are per simulation run (each cell averages
+/// the two core orders and any replications), the prediction column is
+/// the speedup model's mean absolute error, and the latency column is
+/// the pooled wakeup-to-first-run p95 in microseconds.
+pub fn telemetry_csv(h: &Harness) -> String {
+    let mut out = String::from(
+        "workload,config,scheduler,migrations,preemptions,relabels,\
+         idle_steals,mean_abs_pred_error,wakeup_p95_us\n",
+    );
+    for (workload, config, scheduler, r) in h.telemetry_cells() {
+        let c = &r.counters;
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.2},{:.2},{:.2},{:.2},{:.4},{:.3}",
+            workload,
+            config,
+            scheduler,
+            r.per_run(c.total_migrations()),
+            r.per_run(c.total_preemptions()),
+            r.per_run(c.total_relabels()),
+            r.per_run(c.idle_steals),
+            c.prediction.mean_abs_error(),
+            r.wakeup_to_run.quantile(0.95).as_secs_f64() * 1e6,
+        );
+    }
+    out
+}
+
 /// Quantified Table 1 rows: `policy,antt_vs_linux,stp_vs_linux`.
 pub fn table1_csv(t: &Table1Quantified) -> String {
     let mut out = String::from("policy,antt_vs_linux,stp_vs_linux\n");
@@ -192,6 +221,8 @@ pub fn write_all(h: &mut Harness, dir: &Path) -> Result<Vec<String>> {
         "table1.csv",
         table1_csv(&experiments::table1_quantified(h)?),
     )?;
+    // Last: every cell the figures evaluated has telemetry by now.
+    write("telemetry.csv", telemetry_csv(h))?;
     Ok(written)
 }
 
@@ -219,7 +250,13 @@ mod tests {
         let mut h = Harness::new(ExperimentConfig::quick()).unwrap();
         let dir = std::env::temp_dir().join(format!("colab-csv-{}", std::process::id()));
         let files = write_all(&mut h, &dir).unwrap();
-        assert_eq!(files.len(), 14);
+        assert_eq!(files.len(), 15);
+        let telemetry = std::fs::read_to_string(dir.join("telemetry.csv")).unwrap();
+        assert!(telemetry.starts_with("workload,config,scheduler,"));
+        assert!(
+            telemetry.lines().skip(1).any(|l| l.contains(",colab,")),
+            "telemetry.csv has colab rows"
+        );
         for f in &files {
             let content = std::fs::read_to_string(dir.join(f)).unwrap();
             assert!(content.lines().count() >= 2, "{f} has data rows");

@@ -53,7 +53,6 @@ proptest! {
         // Applies the side effects of a wake list to the model.
         fn apply_wakes(
             state: &mut [State; THREADS as usize],
-            occupancy_model: &mut [i32; 2],
             woken: &[ThreadId],
             lock_handoff: Option<u8>,
         ) {
@@ -95,9 +94,7 @@ proptest! {
                         OpResult::Proceed { woken } => {
                             prop_assert!(woken.is_empty());
                             // Mutual exclusion: nobody else holds it.
-                            prop_assert!(!state
-                                .iter()
-                                .any(|s| *s == State::HoldsLock(l)));
+                            prop_assert!(!state.contains(&State::HoldsLock(l)));
                             state[tid.index()] = State::HoldsLock(l);
                         }
                         OpResult::Block => {
@@ -112,7 +109,7 @@ proptest! {
                     let woken = sync.unlock(locks[l as usize], tid, now);
                     prop_assert!(woken.len() <= 1, "lock hand-off is single");
                     state[tid.index()] = State::Free;
-                    apply_wakes(&mut state, &mut occupancy_model, &woken, Some(l));
+                    apply_wakes(&mut state, &woken, Some(l));
                 }
                 Op::Push(c) => {
                     match sync.push(chans[c as usize], tid, now) {
@@ -121,7 +118,7 @@ proptest! {
                                 occupancy_model[c as usize] += 1;
                             }
                             // else: direct handoff to a parked consumer.
-                            apply_wakes(&mut state, &mut occupancy_model, &woken, None);
+                            apply_wakes(&mut state, &woken, None);
                         }
                         OpResult::Block => {
                             state[tid.index()] = State::BlockedOnPush(c);
@@ -136,7 +133,7 @@ proptest! {
                             }
                             // else: a parked producer's item replaced ours
                             // (buffered) or paired with us (rendezvous).
-                            apply_wakes(&mut state, &mut occupancy_model, &woken, None);
+                            apply_wakes(&mut state, &woken, None);
                         }
                         OpResult::Block => {
                             state[tid.index()] = State::BlockedOnPop(c);

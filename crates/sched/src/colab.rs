@@ -20,6 +20,7 @@
 //!   (and the wakeup-preemption vruntime check scales the same way).
 
 use amp_perf::SpeedupModel;
+use amp_sim::telemetry::{LabelClass, SchedEvent};
 use amp_sim::{EnqueueReason, Pick, SchedCtx, Scheduler, StopReason, ThreadPhase};
 use amp_types::{CoreId, CoreKind, MachineConfig, SimDuration, ThreadId};
 
@@ -32,6 +33,17 @@ pub enum Label {
     NonCritical,
     /// Everything else: allocated round-robin over all cores.
     Flexible,
+}
+
+impl Label {
+    /// The telemetry vocabulary equivalent of this label.
+    fn class(self) -> LabelClass {
+        match self {
+            Label::HighSpeedup => LabelClass::HighSpeedup,
+            Label::NonCritical => LabelClass::NonCritical,
+            Label::Flexible => LabelClass::Flexible,
+        }
+    }
 }
 
 /// COLAB tunables.
@@ -312,13 +324,22 @@ impl ColabScheduler {
         for &t in &live {
             let s = self.speedup[t.index()];
             let blocked_others = ctx.thread(t).blocking_ewma >= self.config.block_threshold;
-            self.labels[t.index()] = if s >= hi {
+            let label = if s >= hi {
                 Label::HighSpeedup
             } else if s < mean && !blocked_others {
                 Label::NonCritical
             } else {
                 Label::Flexible
             };
+            let old = self.labels[t.index()];
+            if old != label {
+                let core = ctx.thread(t).last_core.unwrap_or(CoreId::new(0));
+                ctx.emit(
+                    core,
+                    SchedEvent::Relabel { thread: t, from: old.class(), to: label.class() },
+                );
+            }
+            self.labels[t.index()] = label;
         }
     }
 }
@@ -437,10 +458,17 @@ impl Scheduler for ColabScheduler {
         if self.config.scale_slice && ctx.core_kind(core).is_big() {
             // Scale-slice equal progress: shorter slices on big cores, so
             // the selector runs more often there.
-            self.config
+            let predicted = self.speedup[thread.index()];
+            let slice = self
+                .config
                 .base_slice
-                .div_f64(self.speedup[thread.index()].max(1.0))
-                .max(self.config.min_slice)
+                .div_f64(predicted.max(1.0))
+                .max(self.config.min_slice);
+            ctx.emit(
+                core,
+                SchedEvent::SlicePredict { thread, predicted_speedup: predicted, slice },
+            );
+            slice
         } else {
             self.config.base_slice
         }

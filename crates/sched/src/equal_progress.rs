@@ -15,6 +15,7 @@
 //! Core sensitivity and bottlenecks are not considered (per Table 1).
 
 use amp_perf::SpeedupModel;
+use amp_sim::telemetry::SchedEvent;
 use amp_sim::{EnqueueReason, Pick, SchedCtx, Scheduler, StopReason};
 use amp_types::{CoreId, MachineConfig, SimDuration, ThreadId};
 
@@ -86,8 +87,19 @@ impl Scheduler for EqualProgressScheduler {
         }
     }
 
-    fn time_slice(&self, ctx: &SchedCtx<'_>, _thread: ThreadId, core: CoreId) -> SimDuration {
-        self.engine.slice(ctx, core)
+    fn time_slice(&self, ctx: &SchedCtx<'_>, thread: ThreadId, core: CoreId) -> SimDuration {
+        let slice = self.engine.slice(ctx, core);
+        // The estimate in force for this slice: it converts little-core
+        // time into progress, so its error is the policy's key telemetry.
+        ctx.emit(
+            core,
+            SchedEvent::SlicePredict {
+                thread,
+                predicted_speedup: self.speedup[thread.index()],
+                slice,
+            },
+        );
+        slice
     }
 
     fn should_preempt(

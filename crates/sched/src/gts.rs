@@ -15,6 +15,7 @@
 //! threads below the down-migration threshold are bound to little cores;
 //! the band in between keeps its previous placement.
 
+use amp_sim::telemetry::{LabelClass, SchedEvent};
 use amp_sim::{EnqueueReason, Pick, SchedCtx, Scheduler, StopReason};
 use amp_types::{CoreId, CoreKind, MachineConfig, SimDuration, ThreadId};
 
@@ -47,6 +48,18 @@ enum Placement {
     Big,
     Little,
     Anywhere,
+}
+
+impl Placement {
+    /// The telemetry vocabulary equivalent: big-bound threads behave as
+    /// high-speedup, little-bound as non-critical, the band as flexible.
+    fn class(self) -> LabelClass {
+        match self {
+            Placement::Big => LabelClass::HighSpeedup,
+            Placement::Little => LabelClass::NonCritical,
+            Placement::Anywhere => LabelClass::Flexible,
+        }
+    }
 }
 
 /// The GTS policy: load-average affinity over CFS mechanics.
@@ -121,7 +134,7 @@ impl GtsScheduler {
             let load = &mut self.load[t.index()];
             *load = (1.0 - self.config.alpha) * *load + self.config.alpha * instant;
 
-            self.placement[t.index()] = if *load >= self.config.up_threshold {
+            let placement = if *load >= self.config.up_threshold {
                 Placement::Big
             } else if *load <= self.config.down_threshold {
                 Placement::Little
@@ -129,6 +142,15 @@ impl GtsScheduler {
                 // Hysteresis: keep the previous binding.
                 self.placement[t.index()]
             };
+            let old = self.placement[t.index()];
+            if old != placement {
+                let core = ctx.thread(t).last_core.unwrap_or(CoreId::new(0));
+                ctx.emit(
+                    core,
+                    SchedEvent::Relabel { thread: t, from: old.class(), to: placement.class() },
+                );
+            }
+            self.placement[t.index()] = placement;
         }
     }
 }

@@ -14,10 +14,21 @@
 //! applies it to all application threads.
 
 use amp_perf::SpeedupModel;
+use amp_sim::telemetry::{LabelClass, SchedEvent};
 use amp_sim::{EnqueueReason, Pick, SchedCtx, Scheduler, StopReason};
 use amp_types::{CoreId, CoreKind, MachineConfig, SimDuration, ThreadId};
 
 use crate::cfs::CfsEngine;
+
+/// WASH's binary affinity in the telemetry label vocabulary: big-bound
+/// threads behave as high-speedup picks, everything else floats.
+fn wash_class(big_only: bool) -> LabelClass {
+    if big_only {
+        LabelClass::HighSpeedup
+    } else {
+        LabelClass::Flexible
+    }
+}
 
 /// Weights and thresholds of the WASH scoring heuristic.
 #[derive(Debug, Clone, Copy)]
@@ -102,7 +113,7 @@ impl WashScheduler {
         let live: Vec<ThreadId> = ctx.live_threads().collect();
         if live.len() < 2 {
             for &t in &live {
-                self.big_only[t.index()] = false;
+                self.set_affinity(ctx, t, false);
             }
             return;
         }
@@ -136,8 +147,26 @@ impl WashScheduler {
             let score = self.config.speedup_weight * zs[i]
                 + self.config.blocking_weight * zb[i]
                 + self.config.fairness_weight * zf[i];
-            self.big_only[t.index()] = score > self.config.big_threshold;
+            self.set_affinity(ctx, t, score > self.config.big_threshold);
         }
+    }
+
+    /// Updates one thread's big-core binding, emitting a telemetry
+    /// relabel when the binding flips.
+    fn set_affinity(&mut self, ctx: &SchedCtx<'_>, thread: ThreadId, big_only: bool) {
+        let old = self.big_only[thread.index()];
+        if old != big_only {
+            let core = ctx.thread(thread).last_core.unwrap_or(CoreId::new(0));
+            ctx.emit(
+                core,
+                SchedEvent::Relabel {
+                    thread,
+                    from: wash_class(old),
+                    to: wash_class(big_only),
+                },
+            );
+        }
+        self.big_only[thread.index()] = big_only;
     }
 }
 

@@ -15,11 +15,13 @@
 //! subsystem. Wakeups trigger `should_preempt` checks exactly like the
 //! kernel's wakeup-preemption path.
 
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use amp_futex::{OpResult, SyncObjects};
 use amp_perf::{ExecutionProfile, PmuCounters};
+use amp_telemetry::{ClusterDirection, PreemptCause, SchedEvent, Telemetry};
 use amp_types::{
     AppId, CoreId, CoreKind, Error, MachineConfig, Result, SimDuration, SimTime, ThreadId,
 };
@@ -55,6 +57,9 @@ struct ThreadState {
     ready_since: SimTime,
     /// When the thread blocked (valid while Blocked).
     blocked_since: SimTime,
+    /// Set on futex wakeup, consumed at the next dispatch: the
+    /// wakeup-to-run latency sample for telemetry.
+    woken_at: Option<SimTime>,
     finish: SimTime,
     little_time: SimDuration,
     work_done: SimDuration,
@@ -123,6 +128,13 @@ pub struct Simulation {
     channel_map: Vec<Vec<amp_types::ChannelId>>,
     rng: StdRng,
     trace: Trace,
+    /// Decision telemetry. In a `RefCell` so the read-only [`SchedCtx`]
+    /// can hand policies a recording hook; every borrow is short-lived
+    /// and write-only, so telemetry can never feed back into decisions.
+    telemetry: RefCell<Telemetry>,
+    /// Whether the engine is inside `Event::Tick` processing (classifies
+    /// preemption causes for telemetry).
+    in_tick: bool,
     events: BinaryHeap<Reverse<(u64, u64, Event)>>,
     seq: u64,
     now: SimTime,
@@ -260,6 +272,7 @@ impl Simulation {
                     pending: SimDuration::ZERO,
                     ready_since: SimTime::ZERO,
                     blocked_since: SimTime::ZERO,
+                    woken_at: None,
                     finish: SimTime::ZERO,
                     little_time: SimDuration::ZERO,
                     work_done: SimDuration::ZERO,
@@ -333,6 +346,8 @@ impl Simulation {
             channel_map,
             rng: StdRng::seed_from_u64(seed ^ 0xC0_1AB),
             trace: Trace::with_capacity(params.trace_capacity),
+            telemetry: RefCell::new(Telemetry::new(params.event_capacity)),
+            in_tick: false,
             events: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
@@ -432,9 +447,11 @@ impl Simulation {
                             .count();
                         return Err(Error::Deadlock { blocked });
                     }
+                    self.in_tick = true;
                     self.sample_windows();
                     sched.on_tick(&self.ctx());
                     self.kick_idle_cores(sched);
+                    self.in_tick = false;
                     self.push_event(self.now + tick, Event::Tick);
                 }
             }
@@ -457,6 +474,7 @@ impl Simulation {
             machine: &self.machine,
             threads: &self.views,
             running: &self.running,
+            telemetry: &self.telemetry,
         }
     }
 
@@ -620,15 +638,23 @@ impl Simulation {
     fn wake_thread(&mut self, tid: ThreadId, waker_core: CoreId, sched: &mut dyn Scheduler) {
         debug_assert_eq!(self.views[tid.index()].phase, ThreadPhase::Blocked);
         let since = self.threads[tid.index()].blocked_since;
-        self.threads[tid.index()].blocked_time += self.now.saturating_since(since);
+        let blocked = self.now.saturating_since(since);
+        self.threads[tid.index()].blocked_time += blocked;
         self.views[tid.index()].phase = ThreadPhase::Ready;
         self.threads[tid.index()].ready_since = self.now;
+        self.threads[tid.index()].woken_at = Some(self.now);
+        self.telemetry.borrow_mut().observe_futex_block(blocked);
         if let Some(waker) = self.running[waker_core.index()] {
             self.trace.record(TraceEvent::Wake {
                 at: self.now,
                 waker,
                 woken: tid,
             });
+            self.telemetry.borrow_mut().record(
+                self.now,
+                waker_core,
+                SchedEvent::FutexWake { waker, woken: tid, blocked },
+            );
         }
 
         let target = sched.enqueue(&self.ctx(), tid, EnqueueReason::Wake);
@@ -676,6 +702,18 @@ impl Simulation {
             thread: tid,
             reason,
         });
+        if reason == StopReason::Preempted {
+            // Both preemption paths (immediate `preempt_core` and the
+            // deferred `need_resched` at the waker's next boundary) are
+            // wakeup-driven today; tick-driven displacement would land
+            // here with the `Tick` cause.
+            let cause = if self.in_tick { PreemptCause::Tick } else { PreemptCause::Wakeup };
+            self.telemetry.borrow_mut().record(
+                self.now,
+                core,
+                SchedEvent::Preempt { victim: tid, cause },
+            );
+        }
         self.views[tid.index()].phase = ThreadPhase::Ready;
         self.threads[tid.index()].ready_since = self.now;
         sched.on_stop(&self.ctx(), tid, core, stint, reason);
@@ -744,6 +782,14 @@ impl Simulation {
                 let queued = self.now.saturating_since(since);
                 self.threads[tid.index()].ready_time += queued;
                 self.views[tid.index()].ready_time += queued;
+                {
+                    let mut tel = self.telemetry.borrow_mut();
+                    tel.record(self.now, core, SchedEvent::Pick { thread: tid });
+                    tel.observe_runqueue_wait(queued);
+                    if let Some(woken) = self.threads[tid.index()].woken_at.take() {
+                        tel.observe_wakeup_latency(self.now.saturating_since(woken));
+                    }
+                }
                 self.start_thread(core, tid, sched);
             }
             Pick::StealRunning { victim } => {
@@ -767,6 +813,11 @@ impl Simulation {
                 });
                 sched.on_stop(&self.ctx(), vt, victim, stint, StopReason::Stolen);
                 self.threads[vt.index()].preemptions += 1;
+                self.telemetry.borrow_mut().record(
+                    self.now,
+                    core,
+                    SchedEvent::IdleSteal { thread: vt, from: victim },
+                );
                 // The stolen thread keeps its Running phase through the
                 // handoff: no Ready transition, no queueing delay.
                 self.start_thread(core, vt, sched);
@@ -788,6 +839,19 @@ impl Simulation {
             if prev != core {
                 self.threads[tid.index()].migrations += 1;
                 let prev_kind = self.machine.core(prev).kind;
+                self.telemetry.borrow_mut().record(
+                    self.now,
+                    core,
+                    SchedEvent::Migrate {
+                        thread: tid,
+                        from: prev,
+                        to: core,
+                        direction: ClusterDirection::from_kinds(
+                            prev_kind,
+                            self.cores[core.index()].kind,
+                        ),
+                    },
+                );
                 overhead += if prev_kind == self.cores[core.index()].kind {
                     self.params.migration_same_kind
                 } else {
@@ -862,6 +926,10 @@ impl Simulation {
                 self.views[ti].pmu_window = pmu;
                 state.win_cycles = 0.0;
                 state.win_insts = 0.0;
+                // Score the policy's latest speedup prediction against the
+                // profile's ground truth for the window that just closed.
+                let actual = state.profile.true_speedup();
+                self.telemetry.borrow_mut().observe_actual_speedup(tid, actual);
             }
             // Blocking window from the futex ledger.
             let total = self.sync.futex().caused_wait(tid);
@@ -971,11 +1039,15 @@ impl Simulation {
             per_core_joules.push(active + idle);
         }
 
+        let telemetry = self.telemetry.borrow().report();
+        let telemetry_events = self.telemetry.borrow().events().copied().collect();
         SimulationOutcome {
             scheduler: scheduler.to_string(),
             makespan,
             apps,
             threads,
+            telemetry,
+            telemetry_events,
             trace: std::mem::take(&mut self.trace),
             context_switches: self.cores.iter().map(|c| c.switches).sum(),
             migrations: self.threads.iter().map(|t| t.migrations).sum(),

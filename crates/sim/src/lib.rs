@@ -41,6 +41,7 @@ mod rr;
 mod sched;
 mod trace;
 
+pub use amp_telemetry as telemetry;
 pub use engine::Simulation;
 pub use outcome::{AppOutcome, EnergyReport, SimulationOutcome, ThreadStats};
 pub use params::{PowerModel, SimParams};

@@ -1,6 +1,7 @@
 //! Results of a completed simulation.
 
 use amp_perf::PmuCounters;
+use amp_telemetry::TelemetryReport;
 use amp_types::{AppId, SimDuration, SimTime, ThreadId};
 
 /// Per-thread accounting at the end of a run.
@@ -93,6 +94,15 @@ pub struct SimulationOutcome {
     /// Scheduling trace (empty unless
     /// [`SimParams::trace_capacity`](crate::SimParams) was set).
     pub trace: crate::Trace,
+    /// Scheduler decision telemetry: counters, latency histograms, and
+    /// event-ring totals (the ring itself records only when
+    /// [`SimParams::event_capacity`](crate::SimParams) was set).
+    pub telemetry: TelemetryReport,
+    /// The drained telemetry event ring, oldest first (empty unless
+    /// [`SimParams::event_capacity`](crate::SimParams) was set; when the
+    /// run overflowed the ring these are the most recent events and
+    /// [`TelemetryReport::events_dropped`] counts the overwritten rest).
+    pub telemetry_events: Vec<amp_telemetry::StampedEvent>,
 }
 
 impl SimulationOutcome {

@@ -64,6 +64,10 @@ pub struct SimParams {
     pub power: PowerModel,
     /// Maximum scheduling-trace events to record (0 = tracing off).
     pub trace_capacity: usize,
+    /// Maximum telemetry events the flight-recorder ring retains
+    /// (0 = event recording off; decision counters and latency
+    /// histograms are always collected).
+    pub event_capacity: usize,
 }
 
 impl SimParams {
@@ -77,6 +81,7 @@ impl SimParams {
             horizon: amp_types::SimTime::from_millis(120_000),
             power: PowerModel::default(),
             trace_capacity: 0,
+            event_capacity: 0,
         }
     }
 }

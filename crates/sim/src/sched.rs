@@ -1,6 +1,9 @@
 //! The scheduler interface and the read-only view it schedules against.
 
+use std::cell::RefCell;
+
 use amp_perf::PmuCounters;
+use amp_telemetry::{SchedEvent, Telemetry};
 use amp_types::{AppId, CoreId, CoreKind, MachineConfig, SimDuration, SimTime, ThreadId};
 
 /// Why a thread is being enqueued.
@@ -98,6 +101,7 @@ pub struct SchedCtx<'a> {
     pub machine: &'a MachineConfig,
     pub(crate) threads: &'a [ThreadView],
     pub(crate) running: &'a [Option<ThreadId>],
+    pub(crate) telemetry: &'a RefCell<Telemetry>,
 }
 
 impl<'a> SchedCtx<'a> {
@@ -128,6 +132,15 @@ impl<'a> SchedCtx<'a> {
     /// The kind of `core`.
     pub fn core_kind(&self, core: CoreId) -> CoreKind {
         self.machine.core(core).kind
+    }
+
+    /// Records a policy-side telemetry event (relabels, slice
+    /// predictions, …) at the current simulated time, attributed to
+    /// `core`. Telemetry is write-only from the decision path — nothing
+    /// recorded here is ever read back by the engine or a policy — so
+    /// emitting can never perturb scheduling.
+    pub fn emit(&self, core: CoreId, event: SchedEvent) {
+        self.telemetry.borrow_mut().record(self.now, core, event);
     }
 
     /// Threads that have arrived and not finished (the labelling

@@ -435,9 +435,12 @@ impl BenchmarkId {
                 self,
                 n,
                 TaskQueueCfg {
-                    tasks: 64,
-                    master_work_per_task: us(600),
-                    task_work: us(3000),
+                    // Fine-grained mining tasks: same total work as the
+                    // coarser 64×3000µs split, but a queue-op rate that
+                    // actually sits in Table 3's "high" sync band.
+                    tasks: 120,
+                    master_work_per_task: us(500),
+                    task_work: us(1500),
                     master_profile: ExecutionProfile::new(0.45, 0.5, 0.55, 0.05, 0.4, 0.35, 0.1),
                     worker_profile: ExecutionProfile::new(0.65, 0.45, 0.5, 0.1, 0.4, 0.25, 0.05),
                     capacity: 8,

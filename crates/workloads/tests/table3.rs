@@ -7,17 +7,26 @@ use amp_types::SimDuration;
 use amp_workloads::{BenchmarkId, CommCompRatio, Scale, SyncRate};
 
 /// Synchronization operations (locks + barriers + channel ops) per
-/// millisecond of compute, summed over the app.
+/// millisecond of compute, summed over the app and averaged over a few
+/// generation seeds so category comparisons test the generator's
+/// expected behaviour rather than one sample's noise.
 fn sync_rate(bench: BenchmarkId, threads: usize) -> f64 {
-    let app = bench.build(threads, 7, Scale::default());
-    let mut sync_ops = 0u64;
-    let mut compute = SimDuration::ZERO;
-    for t in &app.threads {
-        let (_, locks, unlocks, barriers, pushes, pops) = t.program.action_census();
-        sync_ops += locks + unlocks + barriers + pushes + pops;
-        compute += t.program.total_compute();
-    }
-    sync_ops as f64 / (compute.as_secs_f64() * 1e3)
+    let seeds = [7u64, 11, 13, 17, 19];
+    let total: f64 = seeds
+        .iter()
+        .map(|&seed| {
+            let app = bench.build(threads, seed, Scale::default());
+            let mut sync_ops = 0u64;
+            let mut compute = SimDuration::ZERO;
+            for t in &app.threads {
+                let (_, locks, unlocks, barriers, pushes, pops) = t.program.action_census();
+                sync_ops += locks + unlocks + barriers + pushes + pops;
+                compute += t.program.total_compute();
+            }
+            sync_ops as f64 / (compute.as_secs_f64() * 1e3)
+        })
+        .sum();
+    total / seeds.len() as f64
 }
 
 /// Communication operations (channel + barrier crossings) per millisecond
