@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale F] [--heuristic-model] [--table2|--table3|--table4]
+//! repro [--scale F] [--heuristic-model] [--jobs N] [--table2|--table3|--table4]
 //!       [--fig4|--fig5|--fig6|--fig7|--fig8|--fig9] [--summary]
 //!       [--ablation] [--all] [--csv DIR] [--trace-json DIR]
 //! ```
@@ -10,6 +10,12 @@
 //! workloads (default 1.0, the calibrated full size); the shapes are
 //! stable down to about 0.25. `--heuristic-model` skips the offline
 //! training run and uses the analytic speedup model.
+//!
+//! `--jobs N` runs the experiment-cell sweep on N worker threads
+//! (default: the host's available parallelism; `--jobs 1` is the exact
+//! serial path). The sweep is planned up front and reduced in canonical
+//! cell order, so output is byte-identical for every N — only the
+//! `cells/sec` diagnostic on stderr changes.
 //!
 //! `--summary` also prints the per-scheduler decision-telemetry block
 //! (migrations by direction, preemptions by cause, label flows,
@@ -29,9 +35,14 @@ struct Options {
     scale: f64,
     train: bool,
     replications: u32,
+    jobs: usize,
     targets: Vec<String>,
     csv_dir: Option<std::path::PathBuf>,
     trace_dir: Option<std::path::PathBuf>,
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -41,9 +52,17 @@ fn parse_args() -> Result<Options, String> {
     let mut csv_dir = None;
     let mut trace_dir = None;
     let mut replications = 1u32;
+    let mut jobs = default_jobs();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--jobs" => {
+                let value = args.next().ok_or("--jobs needs a count")?;
+                jobs = value
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --jobs {value}: {e}"))?
+                    .max(1);
+            }
             "--reps" => {
                 let value = args.next().ok_or("--reps needs a count")?;
                 replications = value
@@ -81,10 +100,38 @@ fn parse_args() -> Result<Options, String> {
         scale,
         train,
         replications,
+        jobs,
         targets,
         csv_dir,
         trace_dir,
     })
+}
+
+/// Plans every memoizable experiment cell the selected targets will
+/// consume, so the sweep executor can prewarm the harness caches in
+/// parallel. Targets that bypass the memo caches (energy, staggered,
+/// sensitivity, freqsweep, the ablation variants) run serially as
+/// before; the plan is identical for every `--jobs` value, which is what
+/// keeps output byte-identical across job counts.
+fn build_plan(options: &Options, wants: impl Fn(&str) -> bool) -> colab::SweepPlan {
+    let mut plan = colab::SweepPlan::new();
+    let csv = options.csv_dir.is_some();
+    if csv || wants("fig4") || wants("check") {
+        plan.add_figure4();
+    }
+    let grouped = ["fig5", "fig6", "fig7", "fig8", "fig9"];
+    if csv
+        || wants("summary")
+        || wants("check")
+        || wants("fairness")
+        || grouped.iter().any(|t| wants(t))
+    {
+        plan.add_paper_grid();
+    }
+    if csv || wants("table1") || wants("check") {
+        plan.add_table1();
+    }
+    plan
 }
 
 /// Writes one Chrome trace per scheduler for a representative
@@ -141,6 +188,17 @@ fn main() -> ExitCode {
     );
     let mut harness = colab_bench::harness_with(options.scale, options.train, options.replications);
     eprintln!("harness ready in {:.1?}", start.elapsed());
+
+    let plan = build_plan(&options, wants);
+    if !plan.is_empty() {
+        match harness.run_plan(&plan, options.jobs) {
+            Ok(report) => eprintln!("{report}"),
+            Err(e) => {
+                eprintln!("error running sweep: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     if wants("table2") {
         println!("{}\n", experiments::table2(&harness));

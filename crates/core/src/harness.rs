@@ -116,22 +116,112 @@ impl ExperimentConfig {
     }
 }
 
-/// Key of a memoized experiment cell.
-type CellKey = (String, String, &'static str);
+/// Key of a memoized experiment cell: `(workload, config, scheduler)`.
+pub(crate) type CellKey = (String, String, &'static str);
+
+/// Seed for replication `rep` of a sweep with master seed `master`
+/// (replication 0 is the master seed, so `replications == 1` reproduces
+/// the paper's protocol bit-for-bit).
+pub(crate) fn rep_seed(master: u64, rep: u32) -> u64 {
+    master.wrapping_add(u64::from(rep).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Computes the isolated big-only baselines `T_SB` for every app of
+/// `workload` on an all-big machine with `total_cores` cores.
+///
+/// This is the single implementation behind both the serial memoized
+/// path ([`Harness::baselines`]) and the parallel sweep executor
+/// (`Harness::run_plan`): each baseline depends only on its inputs, so
+/// running it on any thread yields bit-identical results.
+pub(crate) fn compute_baseline(
+    config: &ExperimentConfig,
+    workload: &WorkloadSpec,
+    total_cores: usize,
+) -> Result<Vec<SimDuration>> {
+    let machine = MachineConfig::all_big(total_cores);
+    let reps = config.replications.max(1);
+    let mut t_sb = vec![SimDuration::ZERO; workload.num_apps()];
+    for rep in 0..reps {
+        let seed = rep_seed(config.seed, rep);
+        let apps = workload.instantiate(seed, config.scale);
+        for (slot, app) in t_sb.iter_mut().zip(apps) {
+            let sim =
+                Simulation::from_apps_with_params(&machine, vec![app], seed, config.sim_params)?;
+            let outcome = sim.run(&mut CfsScheduler::new(&machine))?;
+            *slot += outcome.turnaround(AppId::new(0));
+        }
+    }
+    for slot in &mut t_sb {
+        *slot = *slot / u64::from(reps);
+    }
+    Ok(t_sb)
+}
+
+/// Evaluates one experiment cell — `workload` on a `big`×`little`
+/// machine under `kind`, run once per core-enumeration order per
+/// replication and averaged (§5.1) — against precomputed baselines
+/// `t_sb`. A fresh [`Simulation`] and scheduler are constructed for
+/// every run, so no mutable state is shared with any other cell and the
+/// result is a pure function of the arguments: the sweep executor can
+/// evaluate cells on any thread in any order and reproduce the serial
+/// path bit-for-bit.
+pub(crate) fn compute_cell(
+    config: &ExperimentConfig,
+    model: &SpeedupModel,
+    t_sb: &[SimDuration],
+    workload: &WorkloadSpec,
+    big: usize,
+    little: usize,
+    kind: SchedulerKind,
+) -> Result<(MixSummary, TelemetryReport)> {
+    let config_label = MachineConfig::asymmetric(big, little, CoreOrder::BigFirst).label();
+    let reps = config.replications.max(1);
+    let mut sums: Vec<SimDuration> = vec![SimDuration::ZERO; workload.num_apps()];
+    let mut names: Vec<String> = Vec::new();
+    let mut telemetry = TelemetryReport::new();
+    for rep in 0..reps {
+        let seed = rep_seed(config.seed, rep);
+        for order in CoreOrder::BOTH {
+            let machine = MachineConfig::asymmetric(big, little, order);
+            let sim = Simulation::from_apps_with_params(
+                &machine,
+                workload.instantiate(seed, config.scale),
+                seed,
+                config.sim_params,
+            )?;
+            let mut sched = kind.create(&machine, model);
+            let outcome = sim.run(sched.as_mut())?;
+            names = outcome.apps.iter().map(|a| a.name.clone()).collect();
+            for (sum, app) in sums.iter_mut().zip(&outcome.apps) {
+                *sum += app.turnaround;
+            }
+            telemetry.absorb(&outcome.telemetry);
+        }
+    }
+    let divisor = 2 * u64::from(reps);
+    let apps: Vec<(String, SimDuration, SimDuration)> = names
+        .into_iter()
+        .zip(sums)
+        .zip(t_sb)
+        .map(|((name, sum), &sb)| (name, sum / divisor, sb))
+        .collect();
+    let cell = MixSummary::new(workload.name(), config_label, kind.name(), apps);
+    Ok((cell, telemetry))
+}
 
 /// The evaluation harness: owns the trained model and memoizes isolated
 /// baselines and experiment cells so the figures can share the same
 /// 312-run sweep.
 pub struct Harness {
-    config: ExperimentConfig,
-    model: SpeedupModel,
+    pub(crate) config: ExperimentConfig,
+    pub(crate) model: SpeedupModel,
     /// `(workload name, total cores) → per-app T_SB`.
-    baselines: HashMap<(String, usize), Vec<SimDuration>>,
+    pub(crate) baselines: HashMap<(String, usize), Vec<SimDuration>>,
     /// Memoized `(workload, config, scheduler) → summary`.
-    cells: HashMap<CellKey, MixSummary>,
+    pub(crate) cells: HashMap<CellKey, MixSummary>,
     /// Decision telemetry per cell, absorbed over the core-order pair and
     /// all replications (so `runs` is `2 × replications`).
-    telemetry: HashMap<CellKey, TelemetryReport>,
+    pub(crate) telemetry: HashMap<CellKey, TelemetryReport>,
 }
 
 impl Harness {
@@ -165,14 +255,6 @@ impl Harness {
         &self.config
     }
 
-    /// Seed for replication `rep` (replication 0 is the master seed, so
-    /// `replications == 1` reproduces the paper's protocol bit-for-bit).
-    fn rep_seed(&self, rep: u32) -> u64 {
-        self.config
-            .seed
-            .wrapping_add(u64::from(rep).wrapping_mul(0x9E37_79B9_7F4A_7C15))
-    }
-
     /// Isolated big-only baselines `T_SB` for every app of a workload, on
     /// an all-big machine with `total_cores` cores. Memoized.
     fn baselines(&mut self, workload: &WorkloadSpec, total_cores: usize) -> Result<Vec<SimDuration>> {
@@ -180,26 +262,7 @@ impl Harness {
         if let Some(b) = self.baselines.get(&key) {
             return Ok(b.clone());
         }
-        let machine = MachineConfig::all_big(total_cores);
-        let reps = self.config.replications.max(1);
-        let mut t_sb = vec![SimDuration::ZERO; workload.num_apps()];
-        for rep in 0..reps {
-            let seed = self.rep_seed(rep);
-            let apps = workload.instantiate(seed, self.config.scale);
-            for (slot, app) in t_sb.iter_mut().zip(apps) {
-                let sim = Simulation::from_apps_with_params(
-                    &machine,
-                    vec![app],
-                    seed,
-                    self.config.sim_params,
-                )?;
-                let outcome = sim.run(&mut CfsScheduler::new(&machine))?;
-                *slot += outcome.turnaround(AppId::new(0));
-            }
-        }
-        for slot in &mut t_sb {
-            *slot = *slot / u64::from(reps);
-        }
+        let t_sb = compute_baseline(&self.config, workload, total_cores)?;
         self.baselines.insert(key, t_sb.clone());
         Ok(t_sb)
     }
@@ -230,42 +293,9 @@ impl Harness {
 
         let total_cores = big + little;
         let t_sb = self.baselines(workload, total_cores)?;
-
-        // Average turnarounds over the two enumeration orders (§5.1) and
-        // any configured replications.
-        let reps = self.config.replications.max(1);
-        let mut sums: Vec<SimDuration> = vec![SimDuration::ZERO; workload.num_apps()];
-        let mut names: Vec<String> = Vec::new();
-        let mut telemetry = TelemetryReport::new();
-        for rep in 0..reps {
-            let seed = self.rep_seed(rep);
-            for order in CoreOrder::BOTH {
-                let machine = MachineConfig::asymmetric(big, little, order);
-                let sim = Simulation::from_apps_with_params(
-                    &machine,
-                    workload.instantiate(seed, self.config.scale),
-                    seed,
-                    self.config.sim_params,
-                )?;
-                let mut sched = kind.create(&machine, &self.model);
-                let outcome = sim.run(sched.as_mut())?;
-                names = outcome.apps.iter().map(|a| a.name.clone()).collect();
-                for (sum, app) in sums.iter_mut().zip(&outcome.apps) {
-                    *sum += app.turnaround;
-                }
-                telemetry.absorb(&outcome.telemetry);
-            }
-        }
+        let (cell, telemetry) =
+            compute_cell(&self.config, &self.model, &t_sb, workload, big, little, kind)?;
         self.telemetry.insert(key.clone(), telemetry);
-        let divisor = 2 * u64::from(reps);
-        let apps: Vec<(String, SimDuration, SimDuration)> = names
-            .into_iter()
-            .zip(sums)
-            .zip(&t_sb)
-            .map(|((name, sum), &sb)| (name, sum / divisor, sb))
-            .collect();
-
-        let cell = MixSummary::new(workload.name(), config_label, kind.name(), apps);
         self.cells.insert(key, cell.clone());
         Ok(cell)
     }

@@ -34,6 +34,8 @@
 pub mod experiments;
 mod harness;
 pub mod report;
+pub mod sweep;
 pub mod training;
 
 pub use harness::{ExperimentConfig, Harness, SchedulerKind};
+pub use sweep::{SweepCell, SweepPlan, SweepReport};

@@ -1,0 +1,499 @@
+//! Parallel deterministic sweep execution: plan → execute → reduce.
+//!
+//! The paper's evaluation is a grid of independent experiment cells
+//! (26 workloads × 4 machine configurations × schedulers, each cell
+//! averaging two core-enumeration orders — §5.1). [`SweepPlan`]
+//! enumerates every cell up front in a canonical order; the executor
+//! ([`Harness::run_plan`]) runs the cells on a bounded pool of
+//! `std::thread` workers that pull jobs from a shared queue, one fresh
+//! [`Simulation`](amp_sim::Simulation) per run so no mutable state ever
+//! crosses a cell boundary; and the reducer ([`reduce`]) merges results
+//! back in plan order, so the harness caches — and therefore every
+//! figure, table, and CSV derived from them — are byte-identical
+//! regardless of worker count or completion order.
+//!
+//! The determinism contract, concretely:
+//!
+//! 1. every cell is a pure function of `(ExperimentConfig, SpeedupModel,
+//!    baselines, cell key)` — [`compute_cell`](crate::harness) constructs
+//!    a fresh simulation and scheduler per run;
+//! 2. `jobs == 1` executes the plan serially on the calling thread, in
+//!    plan order — exactly the pre-existing serial path;
+//! 3. `jobs >= 2` may complete cells in any order, but [`reduce`]
+//!    restores plan order before any result is observed.
+//!
+//! Golden-results tests (`tests/golden_sweep.rs` at the workspace root)
+//! pin the contract: fixtures snapshotted from the serial path must be
+//! reproduced bit-identically at `--jobs 1`, `2`, and `8`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use amp_metrics::MixSummary;
+use amp_sim::telemetry::TelemetryReport;
+use amp_types::{CoreOrder, MachineConfig, Result, SimDuration};
+use amp_workloads::{BenchmarkId, PaperWorkload, WorkloadSpec};
+
+use crate::experiments::CONFIGS;
+use crate::harness::{compute_baseline, compute_cell, CellKey, Harness, SchedulerKind};
+
+// ---------------------------------------------------------------------
+// Plan
+
+/// One independent experiment cell of a sweep: a workload on a
+/// `big`×`little` machine under one scheduling policy. The two
+/// core-enumeration orders (and any configured replications) run
+/// *inside* the cell, mirroring `Harness::mix`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// The multiprogrammed workload (single-program for Figure 4 cells).
+    pub workload: WorkloadSpec,
+    /// Big cores.
+    pub big: usize,
+    /// Little cores.
+    pub little: usize,
+    /// The policy under test.
+    pub kind: SchedulerKind,
+}
+
+impl SweepCell {
+    /// The memo-cache key this cell produces:
+    /// `(workload, config label, scheduler)`.
+    pub fn key(&self) -> CellKey {
+        (
+            self.workload.name().to_string(),
+            MachineConfig::asymmetric(self.big, self.little, CoreOrder::BigFirst).label(),
+            self.kind.name(),
+        )
+    }
+
+    /// A stable 64-bit hash of the cell key (FNV-1a over
+    /// `workload\0config\0scheduler`). Independent of process, platform
+    /// and `HashMap` seeding, so it can name cells in fixtures and logs.
+    pub fn stable_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let (w, c, s) = self.key();
+        let mut h = OFFSET;
+        for chunk in [w.as_bytes(), b"\0", c.as_bytes(), b"\0", s.as_bytes()] {
+            for &byte in chunk {
+                h = (h ^ u64::from(byte)).wrapping_mul(PRIME);
+            }
+        }
+        h
+    }
+}
+
+/// An up-front enumeration of every cell a sweep will run, in canonical
+/// order. Duplicate cells (same [`SweepCell::key`]) are dropped on
+/// insertion, so unioning overlapping figure grids is safe.
+#[derive(Debug, Clone, Default)]
+pub struct SweepPlan {
+    cells: Vec<SweepCell>,
+    seen: std::collections::HashSet<CellKey>,
+}
+
+impl SweepPlan {
+    /// An empty plan.
+    pub fn new() -> SweepPlan {
+        SweepPlan::default()
+    }
+
+    /// The planned cells, in canonical order.
+    pub fn cells(&self) -> &[SweepCell] {
+        &self.cells
+    }
+
+    /// Number of planned cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Appends a cell unless an identical key is already planned.
+    pub fn push(&mut self, cell: SweepCell) {
+        if self.seen.insert(cell.key()) {
+            self.cells.push(cell);
+        }
+    }
+
+    /// Adds the full cross product `specs × configs × kinds`, in that
+    /// nesting order (schedulers innermost, matching the figures'
+    /// evaluation order).
+    pub fn add_grid(
+        &mut self,
+        specs: &[WorkloadSpec],
+        configs: &[(usize, usize)],
+        kinds: &[SchedulerKind],
+    ) {
+        for spec in specs {
+            for &(big, little) in configs {
+                for &kind in kinds {
+                    self.push(SweepCell {
+                        workload: spec.clone(),
+                        big,
+                        little,
+                        kind,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Adds the paper's 312-cell grid: the 26 Table 4 workloads × the 4
+    /// hardware configurations × the 3 evaluated schedulers.
+    pub fn add_paper_grid(&mut self) {
+        let specs: Vec<WorkloadSpec> =
+            PaperWorkload::all().iter().map(|w| w.spec()).collect();
+        self.add_grid(&specs, &CONFIGS, &SchedulerKind::ALL);
+    }
+
+    /// Adds Figure 4's cells: each of the 12 scalable benchmarks alone
+    /// on the 2B2S machine (one thread per core, clamped) under the 3
+    /// schedulers.
+    pub fn add_figure4(&mut self) {
+        let specs: Vec<WorkloadSpec> = BenchmarkId::FIGURE4
+            .into_iter()
+            .map(|b| WorkloadSpec::single(b, b.clamp_threads(4)))
+            .collect();
+        self.add_grid(&specs, &[(2, 2)], &SchedulerKind::ALL);
+    }
+
+    /// Adds the quantified-Table-1 extension cells: the GTS and
+    /// equal-progress comparators (plus the Linux normalizer, deduped if
+    /// already planned) over the full workload × configuration grid.
+    pub fn add_table1(&mut self) {
+        let specs: Vec<WorkloadSpec> =
+            PaperWorkload::all().iter().map(|w| w.spec()).collect();
+        self.add_grid(
+            &specs,
+            &CONFIGS,
+            &[
+                SchedulerKind::Linux,
+                SchedulerKind::Gts,
+                SchedulerKind::EqualProgress,
+            ],
+        );
+    }
+
+    /// The paper's evaluation grid alone (312 cells).
+    pub fn paper_grid() -> SweepPlan {
+        let mut plan = SweepPlan::new();
+        plan.add_paper_grid();
+        plan
+    }
+
+    /// Everything the memoizing figures of `repro --all` consume:
+    /// Figure 4 singles, the 312-cell paper grid, and the Table 1
+    /// comparator cells.
+    pub fn full() -> SweepPlan {
+        let mut plan = SweepPlan::new();
+        plan.add_figure4();
+        plan.add_paper_grid();
+        plan.add_table1();
+        plan
+    }
+
+    /// The unique `(workload, total cores)` baseline runs the planned
+    /// cells require, in first-use order. Baselines are keyed by total
+    /// core count (the all-big twin), so e.g. 2B4S and 4B2S share one.
+    pub fn baseline_jobs(&self) -> Vec<(WorkloadSpec, usize)> {
+        let mut jobs: Vec<(WorkloadSpec, usize)> = Vec::new();
+        for cell in &self.cells {
+            let total = cell.big + cell.little;
+            if !jobs
+                .iter()
+                .any(|(w, t)| *t == total && w.name() == cell.workload.name())
+            {
+                jobs.push((cell.workload.clone(), total));
+            }
+        }
+        jobs
+    }
+}
+
+// ---------------------------------------------------------------------
+// Execute
+
+/// Runs `f` over `items` on `jobs` worker threads, returning outputs in
+/// input order. Workers pull the next unclaimed index from a shared
+/// atomic cursor (a degenerate work-stealing queue: every worker steals
+/// from the one global tail), so scheduling is load-balanced but the
+/// output order is fixed by construction. `jobs <= 1` (or a single
+/// item) runs everything inline on the calling thread, in order — the
+/// exact serial path, with no pool at all.
+pub fn parallel_map<I, O, F>(jobs: usize, items: &[I], f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let workers = jobs.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let completed: Mutex<Vec<(usize, O)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(index) else { break };
+                let out = f(item);
+                completed
+                    .lock()
+                    .expect("a sweep worker panicked while holding the results lock")
+                    .push((index, out));
+            });
+        }
+    });
+    let results = completed
+        .into_inner()
+        .expect("a sweep worker panicked while holding the results lock");
+    reduce(results, items.len())
+}
+
+// ---------------------------------------------------------------------
+// Reduce
+
+/// Restores canonical order: takes `(input index, output)` pairs in
+/// arbitrary completion order and returns the outputs sorted by index.
+/// This is the only step between parallel completion and the harness
+/// caches, so its order-independence *is* the sweep's determinism.
+///
+/// # Panics
+///
+/// Panics if the results are not a permutation of `0..expected` — a
+/// lost or duplicated job is an executor bug that must not be silently
+/// reduced over.
+pub fn reduce<O>(mut results: Vec<(usize, O)>, expected: usize) -> Vec<O> {
+    assert_eq!(
+        results.len(),
+        expected,
+        "reducer expected {expected} results, got {}",
+        results.len()
+    );
+    results.sort_by_key(|&(index, _)| index);
+    for (position, &(index, _)) in results.iter().enumerate() {
+        assert_eq!(index, position, "duplicate or missing job index {index}");
+    }
+    results.into_iter().map(|(_, out)| out).collect()
+}
+
+/// What a sweep execution did, for the `cells/sec` diagnostics line.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Cells in the plan.
+    pub planned: usize,
+    /// Cells actually simulated (not already memoized).
+    pub executed: usize,
+    /// Cells served from the harness memo cache.
+    pub cached: usize,
+    /// Baseline (`T_SB`) runs simulated.
+    pub baselines: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Wall-clock time of the execute+reduce phases.
+    pub wall: Duration,
+}
+
+impl SweepReport {
+    /// Executed cells per wall-clock second (0 when nothing ran).
+    pub fn cells_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.executed as f64 / secs
+        }
+    }
+}
+
+impl std::fmt::Display for SweepReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sweep: {} cells ({} executed, {} cached, {} baselines) in {:.2?} \
+             ({:.1} cells/sec, jobs={})",
+            self.planned,
+            self.executed,
+            self.cached,
+            self.baselines,
+            self.wall,
+            self.cells_per_sec(),
+            self.jobs
+        )
+    }
+}
+
+impl Harness {
+    /// Executes a [`SweepPlan`] across `jobs` worker threads and merges
+    /// the results into the harness memo caches, so subsequent
+    /// figure/table regeneration is pure cache hits.
+    ///
+    /// Two phases, each a [`parallel_map`]: first the unique isolated
+    /// baselines the plan needs, then every not-yet-memoized cell (each
+    /// against the now-complete baseline map). Results are reduced in
+    /// plan order; `jobs == 1` runs the identical code serially on the
+    /// calling thread. Output is bit-identical for any `jobs`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first simulation failure in plan order.
+    pub fn run_plan(&mut self, plan: &SweepPlan, jobs: usize) -> Result<SweepReport> {
+        let start = Instant::now();
+        let jobs = jobs.max(1);
+
+        // Phase 1: baselines not yet memoized.
+        let baseline_jobs: Vec<(WorkloadSpec, usize)> = plan
+            .baseline_jobs()
+            .into_iter()
+            .filter(|(w, t)| !self.baselines.contains_key(&(w.name().to_string(), *t)))
+            .collect();
+        let config = self.config.clone();
+        let baseline_results: Vec<Result<Vec<SimDuration>>> =
+            parallel_map(jobs, &baseline_jobs, |(workload, total)| {
+                compute_baseline(&config, workload, *total)
+            });
+        for ((workload, total), result) in baseline_jobs.iter().zip(baseline_results) {
+            self.baselines
+                .insert((workload.name().to_string(), *total), result?);
+        }
+
+        // Phase 2: cells not yet memoized.
+        let todo: Vec<&SweepCell> = plan
+            .cells()
+            .iter()
+            .filter(|cell| !self.cells.contains_key(&cell.key()))
+            .collect();
+        let cached = plan.len() - todo.len();
+        let model = self.model.clone();
+        let baselines = &self.baselines;
+        let cell_results: Vec<Result<(MixSummary, TelemetryReport)>> =
+            parallel_map(jobs, &todo, |cell| {
+                let t_sb = baselines
+                    .get(&(cell.workload.name().to_string(), cell.big + cell.little))
+                    .expect("phase 1 computed every baseline the plan needs");
+                compute_cell(
+                    &config,
+                    &model,
+                    t_sb,
+                    &cell.workload,
+                    cell.big,
+                    cell.little,
+                    cell.kind,
+                )
+            });
+        let executed = todo.len();
+        for (cell, result) in todo.into_iter().zip(cell_results) {
+            let (summary, telemetry) = result?;
+            let key = cell.key();
+            self.telemetry.insert(key.clone(), telemetry);
+            self.cells.insert(key, summary);
+        }
+
+        Ok(SweepReport {
+            planned: plan.len(),
+            executed,
+            cached,
+            baselines: baseline_jobs.len(),
+            jobs,
+            wall: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::ExperimentConfig;
+
+    #[test]
+    fn paper_grid_has_312_cells() {
+        let plan = SweepPlan::paper_grid();
+        assert_eq!(plan.len(), 26 * 4 * 3);
+    }
+
+    #[test]
+    fn push_dedupes_by_key() {
+        let mut plan = SweepPlan::new();
+        let cell = SweepCell {
+            workload: WorkloadSpec::single(BenchmarkId::Blackscholes, 4),
+            big: 2,
+            little: 2,
+            kind: SchedulerKind::Colab,
+        };
+        plan.push(cell.clone());
+        plan.push(cell);
+        assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn baseline_jobs_share_total_core_counts() {
+        // 2B4S and 4B2S both need the 6-core all-big twin: one job.
+        let mut plan = SweepPlan::new();
+        let spec = WorkloadSpec::single(BenchmarkId::Blackscholes, 4);
+        plan.add_grid(&[spec], &[(2, 4), (4, 2)], &[SchedulerKind::Linux]);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.baseline_jobs().len(), 1);
+    }
+
+    #[test]
+    fn run_plan_matches_serial_mix() {
+        let spec = WorkloadSpec::single(BenchmarkId::Swaptions, 4);
+        let mut plan = SweepPlan::new();
+        plan.add_grid(&[spec.clone()], &[(2, 2), (2, 4)], &SchedulerKind::ALL);
+
+        let mut serial = Harness::new(ExperimentConfig::quick()).unwrap();
+        let mut parallel = Harness::new(ExperimentConfig::quick()).unwrap();
+        let report = parallel.run_plan(&plan, 4).unwrap();
+        assert_eq!(report.executed, 6);
+        assert_eq!(report.cached, 0);
+
+        for cell in plan.cells() {
+            let a = serial.mix(&cell.workload, cell.big, cell.little, cell.kind).unwrap();
+            let b = parallel.mix(&cell.workload, cell.big, cell.little, cell.kind).unwrap();
+            assert_eq!(a.h_antt.to_bits(), b.h_antt.to_bits(), "{:?}", cell.key());
+            assert_eq!(a.h_stp.to_bits(), b.h_stp.to_bits(), "{:?}", cell.key());
+            assert_eq!(a.apps, b.apps, "{:?}", cell.key());
+        }
+        // The parallel harness must have served everything from cache.
+        assert_eq!(parallel.cells_evaluated(), plan.len());
+        // Telemetry merged identically.
+        assert_eq!(serial.telemetry_cells().len(), parallel.telemetry_cells().len());
+        for (a, b) in serial.telemetry_cells().iter().zip(parallel.telemetry_cells()) {
+            assert_eq!(a.3.runs, b.3.runs);
+            assert_eq!(a.3.counters, b.3.counters);
+        }
+    }
+
+    #[test]
+    fn rerunning_a_plan_is_all_cache_hits() {
+        let spec = WorkloadSpec::single(BenchmarkId::Blackscholes, 4);
+        let mut plan = SweepPlan::new();
+        plan.add_grid(&[spec], &[(2, 2)], &[SchedulerKind::Linux]);
+        let mut h = Harness::new(ExperimentConfig::quick()).unwrap();
+        let first = h.run_plan(&plan, 2).unwrap();
+        assert_eq!(first.executed, 1);
+        let second = h.run_plan(&plan, 2).unwrap();
+        assert_eq!(second.executed, 0);
+        assert_eq!(second.cached, 1);
+    }
+
+    #[test]
+    fn reduce_restores_plan_order() {
+        let shuffled = vec![(2, "c"), (0, "a"), (1, "b")];
+        assert_eq!(reduce(shuffled, 3), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate or missing job index")]
+    fn reduce_rejects_duplicates() {
+        let _ = reduce(vec![(0, "a"), (0, "b")], 2);
+    }
+}

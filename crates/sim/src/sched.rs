@@ -161,7 +161,12 @@ impl<'a> SchedCtx<'a> {
 /// Schedulers own their runqueues: the simulator never inspects them, it
 /// only hands threads over ([`enqueue`](Scheduler::enqueue)) and asks for
 /// the next thread to run ([`pick_next`](Scheduler::pick_next)).
-pub trait Scheduler {
+///
+/// `Send` is a supertrait: the sweep executor constructs each policy
+/// inside the worker job that runs it, so a policy holding `Rc`/`RefCell`
+/// state (which could otherwise silently cross threads) must fail to
+/// compile rather than fail in the executor.
+pub trait Scheduler: Send {
     /// Short policy name, e.g. `"linux"`, `"wash"`, `"colab"`.
     fn name(&self) -> &'static str;
 

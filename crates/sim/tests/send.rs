@@ -1,0 +1,22 @@
+//! Compile-time `Send` assertions for the simulation engine.
+//!
+//! The sweep executor runs one fresh [`Simulation`] per experiment cell
+//! on a worker thread, so the engine (and everything it owns: futex
+//! table, trace buffers, telemetry ring, PMU state) must be `Send`. A
+//! future `Rc`/`RefCell`-of-shared-state regression fails here at
+//! compile time instead of inside the executor.
+
+use amp_sim::{RoundRobin, Simulation, SimulationOutcome};
+
+fn assert_send<T: Send>() {}
+
+#[test]
+fn simulation_and_outcome_are_send() {
+    assert_send::<Simulation>();
+    assert_send::<SimulationOutcome>();
+}
+
+#[test]
+fn builtin_round_robin_is_send() {
+    assert_send::<RoundRobin>();
+}
