@@ -17,6 +17,12 @@
 //! cell order, so output is byte-identical for every N — only the
 //! `cells/sec` diagnostic on stderr changes.
 //!
+//! `--bench-json FILE` writes a machine-readable performance report
+//! (aggregate events/sec and cells/sec, plus per-policy event counts
+//! and per-decision costs) after the selected targets run — see
+//! [`colab_bench::bench_run_json`]. CI's bench smoke job uploads it as
+//! the `BENCH_run.json` artifact.
+//!
 //! `--summary` also prints the per-scheduler decision-telemetry block
 //! (migrations by direction, preemptions by cause, label flows,
 //! speedup-model error, and latency percentiles), pooled over every
@@ -39,6 +45,7 @@ struct Options {
     targets: Vec<String>,
     csv_dir: Option<std::path::PathBuf>,
     trace_dir: Option<std::path::PathBuf>,
+    bench_json: Option<std::path::PathBuf>,
 }
 
 fn default_jobs() -> usize {
@@ -51,6 +58,7 @@ fn parse_args() -> Result<Options, String> {
     let mut targets = Vec::new();
     let mut csv_dir = None;
     let mut trace_dir = None;
+    let mut bench_json = None;
     let mut replications = 1u32;
     let mut jobs = default_jobs();
     let mut args = std::env::args().skip(1);
@@ -78,6 +86,10 @@ fn parse_args() -> Result<Options, String> {
                 let dir = args.next().ok_or("--trace-json needs a directory")?;
                 trace_dir = Some(std::path::PathBuf::from(dir));
             }
+            "--bench-json" => {
+                let file = args.next().ok_or("--bench-json needs a file path")?;
+                bench_json = Some(std::path::PathBuf::from(file));
+            }
             "--scale" => {
                 let value = args.next().ok_or("--scale needs a value")?;
                 scale = value
@@ -93,7 +105,7 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unrecognized argument {other}")),
         }
     }
-    if targets.is_empty() && csv_dir.is_none() && trace_dir.is_none() {
+    if targets.is_empty() && csv_dir.is_none() && trace_dir.is_none() && bench_json.is_none() {
         targets.push("all".into());
     }
     Ok(Options {
@@ -104,6 +116,7 @@ fn parse_args() -> Result<Options, String> {
         targets,
         csv_dir,
         trace_dir,
+        bench_json,
     })
 }
 
@@ -275,6 +288,19 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if let Some(path) = &options.bench_json {
+        let json = colab_bench::bench_run_json(
+            &harness,
+            start.elapsed().as_secs_f64(),
+            harness.cells_evaluated(),
+        );
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote bench report to {}", path.display());
     }
 
     eprintln!(

@@ -37,6 +37,81 @@ pub fn harness_with(scale: f64, train: bool, replications: u32) -> Harness {
     Harness::new(config).expect("harness construction succeeds")
 }
 
+/// Renders the machine-readable benchmark report for one `repro`
+/// invocation (the `--bench-json` payload).
+///
+/// Combines the process-wide [`colab::simcost`] counters (event-loop
+/// wall time and events processed per policy) with the harness's pooled
+/// decision telemetry (picks per policy) into one JSON document:
+/// aggregate `events_per_sec` and `cells_per_sec`, plus a per-policy
+/// breakdown with `run_ns_per_pick` — event-loop wall nanoseconds per
+/// scheduler decision, the end-to-end cost of one pick including the
+/// dispatch machinery around it.
+///
+/// `wall_secs` is the whole invocation's wall time and `cells` the
+/// number of experiment cells evaluated. Policies with no recorded runs
+/// are omitted.
+pub fn bench_run_json(harness: &Harness, wall_secs: f64, cells: usize) -> String {
+    let cost = colab::simcost::snapshot();
+    let picks_by_name: Vec<(&str, u64)> = harness
+        .telemetry_by_scheduler()
+        .into_iter()
+        .map(|(name, report)| (name, report.counters.picks))
+        .collect();
+
+    let mut policies = String::new();
+    for kind in &cost.kinds {
+        if kind.runs == 0 {
+            continue;
+        }
+        let picks = picks_by_name
+            .iter()
+            .find(|(name, _)| *name == kind.name)
+            .map_or(0, |&(_, picks)| picks);
+        let per_pick = if picks == 0 { 0.0 } else { kind.run_ns as f64 / picks as f64 };
+        if !policies.is_empty() {
+            policies.push(',');
+        }
+        policies.push_str(&format!(
+            concat!(
+                "\n    {{\"name\": \"{}\", \"runs\": {}, \"run_ms\": {:.3}, ",
+                "\"events\": {}, \"events_per_sec\": {:.0}, ",
+                "\"picks\": {}, \"run_ns_per_pick\": {:.1}}}"
+            ),
+            kind.name,
+            kind.runs,
+            kind.run_ns as f64 / 1e6,
+            kind.events,
+            kind.events_per_sec(),
+            picks,
+            per_pick,
+        ));
+    }
+
+    format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"colab-bench-run/1\",\n",
+            "  \"wall_secs\": {:.3},\n",
+            "  \"cells\": {},\n",
+            "  \"cells_per_sec\": {:.2},\n",
+            "  \"sim\": {{\"build_ms\": {:.3}, \"run_ms\": {:.3}, ",
+            "\"runs\": {}, \"events\": {}, \"events_per_sec\": {:.0}}},\n",
+            "  \"policies\": [{}\n  ]\n",
+            "}}\n"
+        ),
+        wall_secs,
+        cells,
+        if wall_secs > 0.0 { cells as f64 / wall_secs } else { 0.0 },
+        cost.build_ns as f64 / 1e6,
+        cost.run_ns() as f64 / 1e6,
+        cost.runs(),
+        cost.events(),
+        cost.events_per_sec(),
+        policies,
+    )
+}
+
 /// Runs `spec` under `kind` on the paper's 2B+2S machine with both the
 /// execution trace and the telemetry event ring enabled, then renders
 /// the run as Chrome trace-event JSON (loadable in Perfetto or

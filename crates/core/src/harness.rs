@@ -183,14 +183,23 @@ pub(crate) fn compute_cell(
         let seed = rep_seed(config.seed, rep);
         for order in CoreOrder::BOTH {
             let machine = MachineConfig::asymmetric(big, little, order);
+            let t0 = std::time::Instant::now();
             let sim = Simulation::from_apps_with_params(
                 &machine,
                 workload.instantiate(seed, config.scale),
                 seed,
                 config.sim_params,
             )?;
+            let t1 = std::time::Instant::now();
             let mut sched = kind.create(&machine, model);
             let outcome = sim.run(sched.as_mut())?;
+            let t2 = std::time::Instant::now();
+            crate::simcost::record(
+                kind,
+                (t1 - t0).as_nanos() as u64,
+                (t2 - t1).as_nanos() as u64,
+                outcome.events_processed,
+            );
             names = outcome.apps.iter().map(|a| a.name.clone()).collect();
             for (sum, app) in sums.iter_mut().zip(&outcome.apps) {
                 *sum += app.turnaround;

@@ -34,6 +34,7 @@
 pub mod experiments;
 mod harness;
 pub mod report;
+pub mod simcost;
 pub mod sweep;
 pub mod training;
 

@@ -447,7 +447,7 @@ mod tests {
     fn run_plan_matches_serial_mix() {
         let spec = WorkloadSpec::single(BenchmarkId::Swaptions, 4);
         let mut plan = SweepPlan::new();
-        plan.add_grid(&[spec.clone()], &[(2, 2), (2, 4)], &SchedulerKind::ALL);
+        plan.add_grid(std::slice::from_ref(&spec), &[(2, 2), (2, 4)], &SchedulerKind::ALL);
 
         let mut serial = Harness::new(ExperimentConfig::quick()).unwrap();
         let mut parallel = Harness::new(ExperimentConfig::quick()).unwrap();

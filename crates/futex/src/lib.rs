@@ -40,4 +40,4 @@ mod objects;
 mod table;
 
 pub use objects::{OpResult, SyncObjects};
-pub use table::{FutexKey, FutexTable};
+pub use table::{FutexKey, FutexTable, WakeList};

@@ -15,7 +15,7 @@
 
 use amp_types::{BarrierId, ChannelId, LockId, SimTime, ThreadId};
 
-use crate::table::{FutexKey, FutexTable};
+use crate::table::{FutexKey, FutexTable, WakeList};
 
 /// Outcome of a potentially blocking synchronization operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,7 +24,7 @@ pub enum OpResult {
     /// side effect (their own blocked operation has completed).
     Proceed {
         /// Threads released by this operation, in wake order.
-        woken: Vec<ThreadId>,
+        woken: WakeList,
     },
     /// The calling thread must block.
     Block,
@@ -33,7 +33,7 @@ pub enum OpResult {
 impl OpResult {
     /// A `Proceed` with no side-effect wakeups.
     pub fn proceed() -> OpResult {
-        OpResult::Proceed { woken: Vec::new() }
+        OpResult::Proceed { woken: WakeList::new() }
     }
 
     /// Whether the caller blocks.
@@ -80,7 +80,7 @@ struct ChannelState {
 /// assert_eq!(sync.lock(lock, b, t0), OpResult::Block);
 /// // Unlock hands the lock to b and charges a with b's waiting time.
 /// let woken = sync.unlock(lock, a, SimTime::from_millis(1));
-/// assert_eq!(woken, vec![b]);
+/// assert_eq!(&woken[..], &[b]);
 /// assert_eq!(sync.lock_owner(lock), Some(b));
 /// ```
 #[derive(Debug, Clone)]
@@ -170,7 +170,7 @@ impl SyncObjects {
     /// # Panics
     ///
     /// Panics if `thread` does not own the lock.
-    pub fn unlock(&mut self, lock: LockId, thread: ThreadId, now: SimTime) -> Vec<ThreadId> {
+    pub fn unlock(&mut self, lock: LockId, thread: ThreadId, now: SimTime) -> WakeList {
         let key = {
             let state = &self.locks[lock.index()];
             assert_eq!(

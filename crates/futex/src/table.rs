@@ -1,10 +1,16 @@
 //! Raw futex wait queues and the caused-wait ledger.
 
-use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::fmt;
 
-use amp_types::{SimDuration, SimTime, ThreadId};
+use amp_types::{InlineVec, SimDuration, SimTime, ThreadId};
+
+/// Threads released by one wake operation, in wake order.
+///
+/// Almost every wake releases zero or one thread (lock handoff, channel
+/// transfer); a barrier release wakes all parties at once and spills.
+/// Inline storage keeps the per-operation path allocation-free.
+pub type WakeList = InlineVec<ThreadId, 4>;
 
 /// Identifies one futex word (one wait queue).
 ///
@@ -60,7 +66,11 @@ struct ThreadLedger {
 /// and an example.
 #[derive(Debug, Clone)]
 pub struct FutexTable {
-    queues: HashMap<FutexKey, VecDeque<Waiter>>,
+    /// Wait queues indexed directly by futex word. Words are allocated
+    /// densely by `SyncObjects`, so a flat `Vec` replaces hashing on
+    /// every operation; emptied queues keep their buffer (pooled), so a
+    /// steady-state wait/wake cycle never allocates.
+    queues: Vec<VecDeque<Waiter>>,
     ledger: Vec<ThreadLedger>,
 }
 
@@ -69,9 +79,17 @@ impl FutexTable {
     /// (ids `0..num_threads`).
     pub fn new(num_threads: usize) -> FutexTable {
         FutexTable {
-            queues: HashMap::new(),
+            queues: Vec::new(),
             ledger: vec![ThreadLedger::default(); num_threads],
         }
+    }
+
+    fn queue_mut(&mut self, key: FutexKey) -> &mut VecDeque<Waiter> {
+        let word = key.word() as usize;
+        if word >= self.queues.len() {
+            self.queues.resize_with(word + 1, VecDeque::new);
+        }
+        &mut self.queues[word]
     }
 
     /// Parks `thread` on `key` at time `now` (the paper's
@@ -90,18 +108,15 @@ impl FutexTable {
         );
         entry.waiting_on = Some(key);
         entry.wait_start = now;
-        self.queues
-            .entry(key)
-            .or_default()
-            .push_back(Waiter { thread, since: now });
+        self.queue_mut(key).push_back(Waiter { thread, since: now });
     }
 
     /// Wakes up to `n` threads parked on `key`, FIFO, charging their
     /// accumulated waiting time to `waker` (the paper's `wake_futex`
     /// instrumentation point). Returns the woken threads in wake order.
-    pub fn wake(&mut self, key: FutexKey, n: usize, waker: ThreadId, now: SimTime) -> Vec<ThreadId> {
-        let mut woken = Vec::new();
-        let Some(queue) = self.queues.get_mut(&key) else {
+    pub fn wake(&mut self, key: FutexKey, n: usize, waker: ThreadId, now: SimTime) -> WakeList {
+        let mut woken = WakeList::new();
+        let Some(queue) = self.queues.get_mut(key.word() as usize) else {
             return woken;
         };
         for _ in 0..n {
@@ -119,9 +134,6 @@ impl FutexTable {
             waker_entry.caused_wait += waited;
             waker_entry.wake_count += 1;
         }
-        if queue.is_empty() {
-            self.queues.remove(&key);
-        }
         woken
     }
 
@@ -134,11 +146,8 @@ impl FutexTable {
         let since = entry.wait_start;
         entry.waited += now.saturating_since(since);
         entry.wait_count += 1;
-        if let Some(queue) = self.queues.get_mut(&key) {
+        if let Some(queue) = self.queues.get_mut(key.word() as usize) {
             queue.retain(|w| w.thread != thread);
-            if queue.is_empty() {
-                self.queues.remove(&key);
-            }
         }
         Some(key)
     }
@@ -150,12 +159,12 @@ impl FutexTable {
 
     /// Number of threads parked on `key`.
     pub fn queue_len(&self, key: FutexKey) -> usize {
-        self.queues.get(&key).map_or(0, VecDeque::len)
+        self.queues.get(key.word() as usize).map_or(0, VecDeque::len)
     }
 
     /// Total threads parked across all futexes.
     pub fn total_waiters(&self) -> usize {
-        self.queues.values().map(VecDeque::len).sum()
+        self.queues.iter().map(VecDeque::len).sum()
     }
 
     /// Cumulative time `thread` has caused other threads to wait — the

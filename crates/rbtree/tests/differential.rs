@@ -1,0 +1,94 @@
+//! Randomized differential test: long seeded interleavings of
+//! `insert`/`remove`/`pop_min` against a `BTreeMap` model, with
+//! periodic full drains so freed arena slots get reused many times
+//! over (the free-list path `tests/prop.rs`'s short cases rarely
+//! stress), and structural invariants checked throughout.
+
+use std::collections::BTreeMap;
+
+use amp_rbtree::RbTree;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One long adversarial run per seed: a key universe small enough that
+/// inserts collide with removals constantly, punctuated by full drains
+/// that empty the tree (pushing every node onto the free list) and
+/// rebuild it from reused slots.
+fn churn(seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tree: RbTree<u32, u64> = RbTree::new();
+    let mut model: BTreeMap<u32, u64> = BTreeMap::new();
+
+    for round in 0..40 {
+        for _ in 0..500 {
+            let key = rng.gen_range(0..256u32);
+            match rng.gen_range(0..6u32) {
+                // Weighted towards inserts so the tree grows between drains.
+                0..=2 => {
+                    let value = rng.gen::<u64>();
+                    assert_eq!(tree.insert(key, value), model.insert(key, value));
+                }
+                3..=4 => {
+                    assert_eq!(tree.remove(&key), model.remove(&key));
+                }
+                _ => {
+                    assert_eq!(tree.pop_min(), model.pop_first());
+                }
+            }
+            assert_eq!(tree.len(), model.len());
+            assert_eq!(
+                tree.peek_min().map(|(k, v)| (*k, *v)),
+                model.first_key_value().map(|(k, v)| (*k, *v)),
+            );
+        }
+        tree.assert_invariants();
+        assert!(tree.iter().map(|(k, v)| (*k, *v)).eq(model.iter().map(|(k, v)| (*k, *v))));
+
+        // Every few rounds, drain to empty in sorted order. This frees
+        // every node, so the next round's inserts all come off the free
+        // list — slot reuse under continued rebalancing.
+        if round % 4 == 3 {
+            while let Some(popped) = tree.pop_min() {
+                assert_eq!(Some(popped), model.pop_first());
+            }
+            assert!(model.is_empty());
+            assert!(tree.is_empty());
+            tree.assert_invariants();
+        }
+    }
+}
+
+#[test]
+fn differential_churn_seed_1() {
+    churn(1);
+}
+
+#[test]
+fn differential_churn_seed_2() {
+    churn(0x5EED_CAFE);
+}
+
+#[test]
+fn differential_churn_seed_3() {
+    churn(u64::MAX / 7);
+}
+
+/// Duplicate-key storms: hammer a tiny universe so nearly every insert
+/// replaces in place and every remove hits, maximizing free-list
+/// round-trips per node.
+#[test]
+fn duplicate_key_storm_matches_model() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut tree: RbTree<u8, u32> = RbTree::new();
+    let mut model: BTreeMap<u8, u32> = BTreeMap::new();
+    for i in 0..20_000u32 {
+        let key = rng.gen_range(0..8u8);
+        if rng.gen_bool(0.5) {
+            assert_eq!(tree.insert(key, i), model.insert(key, i));
+        } else {
+            assert_eq!(tree.remove(&key), model.remove(&key));
+        }
+    }
+    tree.assert_invariants();
+    assert!(tree.iter().map(|(k, v)| (*k, *v)).eq(model.iter().map(|(k, v)| (*k, *v))));
+}

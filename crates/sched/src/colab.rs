@@ -22,7 +22,7 @@
 use amp_perf::SpeedupModel;
 use amp_sim::telemetry::{LabelClass, SchedEvent};
 use amp_sim::{EnqueueReason, Pick, SchedCtx, Scheduler, StopReason, ThreadPhase};
-use amp_types::{CoreId, CoreKind, MachineConfig, SimDuration, ThreadId};
+use amp_types::{CoreId, CoreKind, InlineVec, MachineConfig, SimDuration, ThreadId};
 
 /// Thread labels produced by the 10 ms multi-factor labeller (§3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,8 +137,10 @@ impl ColabConfig {
 pub struct ColabScheduler {
     model: SpeedupModel,
     config: ColabConfig,
-    big_cores: Vec<CoreId>,
-    little_cores: Vec<CoreId>,
+    /// Cluster core lists, inline so `pick_next` scans them without a
+    /// pointer chase (see [`InlineVec`]).
+    big_cores: InlineVec<CoreId, 8>,
+    little_cores: InlineVec<CoreId, 8>,
     labels: Vec<Label>,
     /// Cached per-thread speedup predictions, refreshed each tick.
     speedup: Vec<f64>,
@@ -148,6 +150,9 @@ pub struct ColabScheduler {
     rr_big: usize,
     rr_little: usize,
     rr_all: usize,
+    /// Scratch for the tick labelling pass, reused across ticks so
+    /// relabelling allocates nothing in steady state.
+    live_scratch: Vec<ThreadId>,
 }
 
 impl ColabScheduler {
@@ -174,6 +179,7 @@ impl ColabScheduler {
             rr_big: 0,
             rr_little: 0,
             rr_all: 0,
+            live_scratch: Vec::new(),
         }
     }
 
@@ -250,25 +256,19 @@ impl ColabScheduler {
         Some(self.rqs[core.index()].remove(best))
     }
 
-    /// Steals the max-blocking thread across a set of cores' queues.
-    fn steal_max_block(
-        &mut self,
-        ctx: &SchedCtx<'_>,
-        cores: &[CoreId],
-        exclude: CoreId,
-    ) -> Option<ThreadId> {
-        self.steal_max_block_filtered(ctx, cores, exclude, |_| true)
-    }
-
-    /// Steals the max-blocking thread passing `eligible` across a set of
-    /// cores' queues.
-    fn steal_max_block_filtered(
-        &mut self,
+    /// Locates (without removing) the max-blocking thread passing
+    /// `eligible` across a set of cores' queues.
+    ///
+    /// Split from the removal (`take_queued`) so callers can pass the
+    /// scheduler's own cluster slices — the scan needs only `&self`, so
+    /// no defensive clone of the core list is ever required.
+    fn find_max_block(
+        &self,
         ctx: &SchedCtx<'_>,
         cores: &[CoreId],
         exclude: CoreId,
         eligible: impl Fn(ThreadId) -> bool,
-    ) -> Option<ThreadId> {
+    ) -> Option<(CoreId, usize)> {
         let mut best: Option<((u64, u64), CoreId, usize)> = None;
         for &c in cores {
             if c == exclude {
@@ -284,8 +284,13 @@ impl ColabScheduler {
                 }
             }
         }
-        let (_, core, index) = best?;
-        Some(self.rqs[core.index()].remove(index))
+        best.map(|(_, core, index)| (core, index))
+    }
+
+    /// Removes a thread found by [`find_max_block`](Self::find_max_block)
+    /// from its queue, preserving FIFO order of the remainder.
+    fn take_queued(&mut self, core: CoreId, index: usize) -> ThreadId {
+        self.rqs[core.index()].remove(index)
     }
 
     /// Effective vruntime for the preemption check: divided by predicted
@@ -301,8 +306,11 @@ impl ColabScheduler {
 
     /// The 10 ms multi-factor labelling pass (§3.2).
     fn relabel(&mut self, ctx: &SchedCtx<'_>) {
-        let live: Vec<ThreadId> = ctx.live_threads().collect();
+        let mut live = std::mem::take(&mut self.live_scratch);
+        live.clear();
+        live.extend(ctx.live_threads());
         if live.is_empty() {
+            self.live_scratch = live;
             return;
         }
         for &t in &live {
@@ -341,6 +349,7 @@ impl ColabScheduler {
             }
             self.labels[t.index()] = label;
         }
+        self.live_scratch = live;
     }
 }
 
@@ -397,13 +406,13 @@ impl Scheduler for ColabScheduler {
         }
         // 2. Same-kind cluster queues.
         let kind = ctx.core_kind(core);
-        let cluster = if kind.is_big() {
-            self.big_cores.clone()
+        let found = if kind.is_big() {
+            self.find_max_block(ctx, &self.big_cores, core, |_| true)
         } else {
-            self.little_cores.clone()
+            self.find_max_block(ctx, &self.little_cores, core, |_| true)
         };
-        if let Some(t) = self.steal_max_block(ctx, &cluster, core) {
-            return Pick::Run(t);
+        if let Some((c, i)) = found {
+            return Pick::Run(self.take_queued(c, i));
         }
         if !kind.is_big() {
             // Work conservation: an idle little core pulls from the big
@@ -411,22 +420,19 @@ impl Scheduler for ColabScheduler {
             // whose label tolerates a little core, taking a HighSpeedup
             // one only when nothing else waits (running it 2× slower
             // still beats running it never).
-            let bigs = self.big_cores.clone();
-            let labels = self.labels.clone();
-            if let Some(t) = self.steal_max_block_filtered(ctx, &bigs, core, |t| {
-                labels[t.index()] != Label::HighSpeedup
+            if let Some((c, i)) = self.find_max_block(ctx, &self.big_cores, core, |t| {
+                self.labels[t.index()] != Label::HighSpeedup
             }) {
-                return Pick::Run(t);
+                return Pick::Run(self.take_queued(c, i));
             }
-            if let Some(t) = self.steal_max_block(ctx, &bigs, core) {
-                return Pick::Run(t);
+            if let Some((c, i)) = self.find_max_block(ctx, &self.big_cores, core, |_| true) {
+                return Pick::Run(self.take_queued(c, i));
             }
             return Pick::Idle;
         }
         // 3. Big cores pull waiting threads from little queues.
-        let littles = self.little_cores.clone();
-        if let Some(t) = self.steal_max_block(ctx, &littles, core) {
-            return Pick::Run(t);
+        if let Some((c, i)) = self.find_max_block(ctx, &self.little_cores, core, |_| true) {
+            return Pick::Run(self.take_queued(c, i));
         }
         // 4. Big cores may preempt a little core's *running* thread to
         //    accelerate it; idle only when nothing is worth taking.

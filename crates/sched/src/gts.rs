@@ -17,7 +17,7 @@
 
 use amp_sim::telemetry::{LabelClass, SchedEvent};
 use amp_sim::{EnqueueReason, Pick, SchedCtx, Scheduler, StopReason};
-use amp_types::{CoreId, CoreKind, MachineConfig, SimDuration, ThreadId};
+use amp_types::{CoreId, CoreKind, InlineVec, MachineConfig, SimDuration, ThreadId};
 
 use crate::cfs::CfsEngine;
 
@@ -77,8 +77,8 @@ impl Placement {
 pub struct GtsScheduler {
     engine: CfsEngine,
     config: GtsConfig,
-    big_cores: Vec<CoreId>,
-    little_cores: Vec<CoreId>,
+    big_cores: InlineVec<CoreId, 8>,
+    little_cores: InlineVec<CoreId, 8>,
     placement: Vec<Placement>,
     load: Vec<f64>,
     /// `(run_time, ready_time)` snapshots at the last window boundary.
@@ -125,7 +125,7 @@ impl GtsScheduler {
             return;
         }
         let window_s = window.as_secs_f64();
-        for t in ctx.live_threads().collect::<Vec<_>>() {
+        for t in ctx.live_threads() {
             let v = ctx.thread(t);
             let (prev_run, prev_ready) = self.snapshots[t.index()];
             let runnable = (v.run_time - prev_run) + (v.ready_time - prev_ready);
@@ -189,7 +189,9 @@ impl Scheduler for GtsScheduler {
         if let Some(t) = self.engine.pop_local(core) {
             return Pick::Run(t);
         }
-        let placement = self.placement.clone();
+        // Disjoint field borrows: the closure reads `placement` while the
+        // engine runqueues are mutated — no defensive clone needed.
+        let placement = &self.placement;
         let kind_is_big = ctx.core_kind(core).is_big();
         match self.engine.steal_for(core, |t, _| match placement[t.index()] {
             Placement::Anywhere => true,
@@ -217,7 +219,7 @@ impl Scheduler for GtsScheduler {
 
     fn on_tick(&mut self, ctx: &SchedCtx<'_>) {
         self.retrack_loads(ctx);
-        let placement = self.placement.clone();
+        let placement = &self.placement;
         self.engine.balance(ctx, |t, dest| {
             let big = ctx.core_kind(dest).is_big();
             match placement[t.index()] {
@@ -243,14 +245,20 @@ impl Scheduler for GtsScheduler {
 impl GtsScheduler {
     /// Least-loaded core within the thread's current placement group.
     fn fallback_core(&self, ctx: &SchedCtx<'_>, thread: ThreadId) -> CoreId {
-        let group: Vec<CoreId> = match self.placement[thread.index()] {
-            Placement::Big if !self.big_cores.is_empty() => self.big_cores.clone(),
-            Placement::Little if !self.little_cores.is_empty() => self.little_cores.clone(),
-            _ => ctx.machine.iter().map(|(id, _)| id).collect(),
+        let group: &[CoreId] = match self.placement[thread.index()] {
+            Placement::Big if !self.big_cores.is_empty() => &self.big_cores,
+            Placement::Little if !self.little_cores.is_empty() => &self.little_cores,
+            _ => &[],
         };
-        self.engine
-            .select_core(ctx, group.into_iter())
-            .expect("placement group is non-empty")
+        if group.is_empty() {
+            // Unrestricted (or degenerate machine): range over every core
+            // without materializing the list.
+            self.engine
+                .select_core(ctx, ctx.machine.iter().map(|(id, _)| id))
+        } else {
+            self.engine.select_core(ctx, group.iter().copied())
+        }
+        .expect("placement group is non-empty")
     }
 }
 

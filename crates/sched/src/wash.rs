@@ -16,7 +16,7 @@
 use amp_perf::SpeedupModel;
 use amp_sim::telemetry::{LabelClass, SchedEvent};
 use amp_sim::{EnqueueReason, Pick, SchedCtx, Scheduler, StopReason};
-use amp_types::{CoreId, CoreKind, MachineConfig, SimDuration, ThreadId};
+use amp_types::{CoreId, CoreKind, InlineVec, MachineConfig, SimDuration, ThreadId};
 
 use crate::cfs::CfsEngine;
 
@@ -74,7 +74,18 @@ pub struct WashScheduler {
     config: WashConfig,
     /// Per-thread: restricted to big cores?
     big_only: Vec<bool>,
-    big_cores: Vec<CoreId>,
+    big_cores: InlineVec<CoreId, 8>,
+    scratch: WashScratch,
+}
+
+/// Reused buffers for the 10 ms scoring pass, so a tick allocates
+/// nothing once the buffers reach the live-thread high-water mark.
+#[derive(Debug, Clone, Default)]
+struct WashScratch {
+    live: Vec<ThreadId>,
+    speedup: Vec<f64>,
+    blocking: Vec<f64>,
+    deficit: Vec<f64>,
 }
 
 impl WashScheduler {
@@ -95,6 +106,7 @@ impl WashScheduler {
             config,
             big_only: Vec::new(),
             big_cores: machine.cores_of_kind(CoreKind::Big).collect(),
+            scratch: WashScratch::default(),
         }
     }
 
@@ -110,45 +122,59 @@ impl WashScheduler {
         if self.big_cores.is_empty() {
             return;
         }
-        let live: Vec<ThreadId> = ctx.live_threads().collect();
-        if live.len() < 2 {
-            for &t in &live {
+        // Take the scratch buffers out of `self` for the duration of the
+        // pass (set_affinity needs `&mut self`); they go back at the end,
+        // retaining their capacity, so steady-state ticks don't allocate.
+        let mut s = std::mem::take(&mut self.scratch);
+        s.live.clear();
+        s.live.extend(ctx.live_threads());
+        if s.live.len() < 2 {
+            for i in 0..s.live.len() {
+                let t = s.live[i];
                 self.set_affinity(ctx, t, false);
             }
+            self.scratch = s;
             return;
         }
-        let speedups: Vec<f64> = live
-            .iter()
-            .map(|&t| self.model.predict(&ctx.thread(t).pmu_window))
-            .collect();
-        let blockings: Vec<f64> = live
-            .iter()
-            .map(|&t| ctx.thread(t).blocking_ewma.as_secs_f64())
-            .collect();
+        s.speedup.clear();
+        s.speedup.extend(
+            s.live
+                .iter()
+                .map(|&t| self.model.predict(&ctx.thread(t).pmu_window)),
+        );
+        s.blocking.clear();
+        s.blocking.extend(
+            s.live
+                .iter()
+                .map(|&t| ctx.thread(t).blocking_ewma.as_secs_f64()),
+        );
         // Fairness: threads that have had *less* big-core share deserve a
         // boost (negated share, z-scored).
-        let deficits: Vec<f64> = live
-            .iter()
-            .map(|&t| {
-                let v = ctx.thread(t);
-                let run = v.run_time.as_secs_f64();
-                if run > 0.0 {
-                    -(v.big_time.as_secs_f64() / run)
-                } else {
-                    0.0
-                }
-            })
-            .collect();
+        s.deficit.clear();
+        s.deficit.extend(s.live.iter().map(|&t| {
+            let v = ctx.thread(t);
+            let run = v.run_time.as_secs_f64();
+            if run > 0.0 {
+                -(v.big_time.as_secs_f64() / run)
+            } else {
+                0.0
+            }
+        }));
 
-        let zs = zscores(&speedups);
-        let zb = zscores(&blockings);
-        let zf = zscores(&deficits);
-        for (i, &t) in live.iter().enumerate() {
-            let score = self.config.speedup_weight * zs[i]
-                + self.config.blocking_weight * zb[i]
-                + self.config.fairness_weight * zf[i];
+        // z-scores are computed on the fly from (mean, std) — same
+        // per-element arithmetic as materializing the z vectors, without
+        // three more buffers.
+        let (ms, ss) = zstats(&s.speedup);
+        let (mb, sb) = zstats(&s.blocking);
+        let (mf, sf) = zstats(&s.deficit);
+        for i in 0..s.live.len() {
+            let t = s.live[i];
+            let score = self.config.speedup_weight * zscore(s.speedup[i], ms, ss)
+                + self.config.blocking_weight * zscore(s.blocking[i], mb, sb)
+                + self.config.fairness_weight * zscore(s.deficit[i], mf, sf);
             self.set_affinity(ctx, t, score > self.config.big_threshold);
         }
+        self.scratch = s;
     }
 
     /// Updates one thread's big-core binding, emitting a telemetry
@@ -170,16 +196,28 @@ impl WashScheduler {
     }
 }
 
-/// Population z-scores; zeros when the population is degenerate.
-fn zscores(values: &[f64]) -> Vec<f64> {
+/// Population mean and standard deviation of `values`.
+fn zstats(values: &[f64]) -> (f64, f64) {
     let n = values.len() as f64;
     let mean = values.iter().sum::<f64>() / n;
     let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
-    let std = var.sqrt();
+    (mean, var.sqrt())
+}
+
+/// One population z-score; zero when the population is degenerate.
+fn zscore(value: f64, mean: f64, std: f64) -> f64 {
     if std < 1e-12 {
-        return vec![0.0; values.len()];
+        0.0
+    } else {
+        (value - mean) / std
     }
-    values.iter().map(|v| (v - mean) / std).collect()
+}
+
+/// Population z-scores; zeros when the population is degenerate.
+#[cfg(test)]
+fn zscores(values: &[f64]) -> Vec<f64> {
+    let (mean, std) = zstats(values);
+    values.iter().map(|&v| zscore(v, mean, std)).collect()
 }
 
 impl Scheduler for WashScheduler {
@@ -205,17 +243,16 @@ impl Scheduler for WashScheduler {
                         .expect("big cores exist when big_only is set")
                 }
             }
-            EnqueueReason::Spawn | EnqueueReason::Wake => {
-                let allowed: Vec<CoreId> = ctx
-                    .machine
-                    .iter()
-                    .map(|(id, _)| id)
-                    .filter(|&c| self.allowed(ctx, thread, c))
-                    .collect();
-                self.engine
-                    .select_core(ctx, allowed.into_iter())
-                    .expect("affinity masks always leave at least one core")
-            }
+            EnqueueReason::Spawn | EnqueueReason::Wake => self
+                .engine
+                .select_core(
+                    ctx,
+                    ctx.machine
+                        .iter()
+                        .map(|(id, _)| id)
+                        .filter(|&c| self.allowed(ctx, thread, c)),
+                )
+                .expect("affinity masks always leave at least one core"),
         };
         self.engine.enqueue(thread, core);
         core
@@ -252,7 +289,7 @@ impl Scheduler for WashScheduler {
 
     fn on_tick(&mut self, ctx: &SchedCtx<'_>) {
         self.recompute_affinities(ctx);
-        let big_only = self.big_only.clone();
+        let big_only = &self.big_only;
         self.engine.balance(ctx, |t, dest| {
             !big_only[t.index()] || ctx.core_kind(dest).is_big()
         });

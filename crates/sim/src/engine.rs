@@ -16,8 +16,6 @@
 //! kernel's wakeup-preemption path.
 
 use std::cell::RefCell;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 use amp_futex::{OpResult, SyncObjects};
 use amp_perf::{ExecutionProfile, PmuCounters};
@@ -29,6 +27,7 @@ use amp_workloads::{Action, AppSpec, Cursor, Program, Scale, WorkloadSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::equeue::{EventKey, EventQueue};
 use crate::outcome::{AppOutcome, SimulationOutcome, ThreadStats};
 use crate::params::SimParams;
 use crate::sched::{
@@ -36,7 +35,7 @@ use crate::sched::{
 };
 use crate::trace::{Trace, TraceEvent};
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
     CoreDone { core: CoreId, token: u64 },
     Tick,
@@ -95,6 +94,10 @@ struct CoreState {
     /// after it.
     overhead_end: SimTime,
     quantum_end: SimTime,
+    /// Handle to the core's in-flight `CoreDone` event. Cancelled eagerly
+    /// in [`Simulation::clear_core`] so superseded events never sit in
+    /// the queue (the `token` check remains as a backstop).
+    pending_done: Option<EventKey>,
     /// CPU time consumed by the running thread since it was dispatched
     /// (passed to [`Scheduler::on_stop`]).
     stint: SimDuration,
@@ -135,8 +138,8 @@ pub struct Simulation {
     /// Whether the engine is inside `Event::Tick` processing (classifies
     /// preemption causes for telemetry).
     in_tick: bool,
-    events: BinaryHeap<Reverse<(u64, u64, Event)>>,
-    seq: u64,
+    events: EventQueue<Event>,
+    events_processed: u64,
     now: SimTime,
     finished: usize,
 }
@@ -322,6 +325,7 @@ impl Simulation {
                 acct_from: SimTime::ZERO,
                 overhead_end: SimTime::ZERO,
                 quantum_end: SimTime::ZERO,
+                pending_done: None,
                 stint: SimDuration::ZERO,
                 last_thread: None,
                 need_resched: false,
@@ -348,8 +352,8 @@ impl Simulation {
             trace: Trace::with_capacity(params.trace_capacity),
             telemetry: RefCell::new(Telemetry::new(params.event_capacity)),
             in_tick: false,
-            events: BinaryHeap::new(),
-            seq: 0,
+            events: EventQueue::new(),
+            events_processed: 0,
             now: SimTime::ZERO,
             finished: 0,
         })
@@ -375,7 +379,8 @@ impl Simulation {
         for ai in 0..self.apps.len() {
             let arrival = self.arrivals[ai];
             if arrival == SimTime::ZERO {
-                for t in self.apps[ai].1.clone() {
+                for i in 0..self.apps[ai].1.len() {
+                    let t = self.apps[ai].1[i];
                     sched.enqueue(&self.ctx(), t, EnqueueReason::Spawn);
                 }
             } else {
@@ -387,7 +392,7 @@ impl Simulation {
         self.push_event(self.now + tick, Event::Tick);
 
         while self.finished < self.threads.len() {
-            let Some(Reverse((t_ns, _, event))) = self.events.pop() else {
+            let Some(popped) = self.events.pop() else {
                 let blocked = self
                     .views
                     .iter()
@@ -395,7 +400,8 @@ impl Simulation {
                     .count();
                 return Err(Error::Deadlock { blocked });
             };
-            self.now = SimTime::from_nanos(t_ns);
+            self.now = SimTime::from_nanos(popped.time);
+            self.events_processed += 1;
             if self.now > self.params.horizon {
                 return Err(Error::HorizonExceeded {
                     detail: format!(
@@ -406,14 +412,19 @@ impl Simulation {
                     ),
                 });
             }
-            match event {
+            match popped.item {
                 Event::CoreDone { core, token } => {
+                    // Eager cancellation in `clear_core` means a popped
+                    // CoreDone is (almost) always the core's live event;
+                    // the token test is retained as a correctness backstop.
+                    self.cores[core.index()].pending_done = None;
                     if self.cores[core.index()].token == token {
                         self.core_done(core, sched);
                     }
                 }
                 Event::Arrival { app } => {
-                    for tid in self.apps[app.index()].1.clone() {
+                    for i in 0..self.apps[app.index()].1.len() {
+                        let tid = self.apps[app.index()].1[i];
                         debug_assert_eq!(
                             self.views[tid.index()].phase,
                             ThreadPhase::NotStarted
@@ -463,9 +474,8 @@ impl Simulation {
     // ------------------------------------------------------------------
     // event plumbing
 
-    fn push_event(&mut self, at: SimTime, event: Event) {
-        self.seq += 1;
-        self.events.push(Reverse((at.as_nanos(), self.seq, event)));
+    fn push_event(&mut self, at: SimTime, event: Event) -> EventKey {
+        self.events.push(at.as_nanos(), event)
     }
 
     fn ctx(&self) -> SchedCtx<'_> {
@@ -597,7 +607,8 @@ impl Simulation {
                 let dur = seg.min(until_quantum);
                 let token = self.cores[core.index()].token;
                 debug_assert!(self.cores[core.index()].acct_from == self.now);
-                self.push_event(self.now + dur, Event::CoreDone { core, token });
+                let key = self.push_event(self.now + dur, Event::CoreDone { core, token });
+                self.cores[core.index()].pending_done = Some(key);
                 return;
             }
         }
@@ -761,7 +772,14 @@ impl Simulation {
         c.need_resched = false;
         c.stint = SimDuration::ZERO;
         c.last_thread = Some(tid);
+        let pending = c.pending_done.take();
         self.running[core.index()] = None;
+        // Remove the superseded CoreDone instead of letting it pop and be
+        // discarded by the token check — the queue stays minimal and the
+        // engine never spends a loop iteration on a dead event.
+        if let Some(key) = pending {
+            self.events.cancel(key);
+        }
     }
 
     /// Gives an idle core work via the scheduler.
@@ -880,7 +898,8 @@ impl Simulation {
         c.overhead_end = self.now + overhead;
         c.quantum_end = self.now + overhead + slice;
         let token = c.token;
-        self.push_event(self.now + overhead, Event::CoreDone { core, token });
+        let key = self.push_event(self.now + overhead, Event::CoreDone { core, token });
+        self.cores[core.index()].pending_done = Some(key);
     }
 
     fn kick_idle_cores(&mut self, sched: &mut dyn Scheduler) {
@@ -1051,6 +1070,7 @@ impl Simulation {
             trace: std::mem::take(&mut self.trace),
             context_switches: self.cores.iter().map(|c| c.switches).sum(),
             migrations: self.threads.iter().map(|t| t.migrations).sum(),
+            events_processed: self.events_processed,
             core_busy: self.cores.iter().map(|c| c.busy).collect(),
             energy: crate::outcome::EnergyReport {
                 per_core_joules,

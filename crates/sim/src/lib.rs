@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod equeue;
 mod outcome;
 mod params;
 mod rr;

@@ -87,6 +87,9 @@ pub struct SimulationOutcome {
     pub context_switches: u64,
     /// Thread migrations across all cores.
     pub migrations: u64,
+    /// Discrete events processed by the engine loop (the denominator of
+    /// the events/sec throughput metric in `BENCH_*.json`).
+    pub events_processed: u64,
     /// Per-core busy time, indexed by core id.
     pub core_busy: Vec<SimDuration>,
     /// Energy accounting under the configured power model.

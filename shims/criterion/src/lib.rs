@@ -16,7 +16,18 @@
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Whether the process was started with `--quick` (as in
+/// `cargo bench -- --quick`): sample counts are clamped to 2 so the whole
+/// suite smoke-runs in seconds. Mirrors upstream criterion's flag of the
+/// same name; CI uses it to verify benches execute without paying for
+/// statistically meaningful sampling.
+fn quick_mode() -> bool {
+    static QUICK: OnceLock<bool> = OnceLock::new();
+    *QUICK.get_or_init(|| std::env::args().any(|a| a == "--quick"))
+}
 
 /// Runs closures and reports their mean wall-clock time.
 pub struct Criterion {
@@ -152,6 +163,7 @@ fn run_benchmark<F>(id: &str, sample_size: usize, mut f: F)
 where
     F: FnMut(&mut Bencher),
 {
+    let sample_size = if quick_mode() { sample_size.min(2) } else { sample_size };
     let mut bencher = Bencher { sample_size, elapsed: None };
     f(&mut bencher);
     match bencher.elapsed {
