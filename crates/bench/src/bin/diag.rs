@@ -10,6 +10,7 @@
 //! byte-identical for every N.
 
 use std::fmt::Write as _;
+use std::process::ExitCode;
 
 use amp_perf::SpeedupModel;
 use amp_sim::Simulation;
@@ -18,16 +19,19 @@ use amp_workloads::{PaperWorkload, Scale, WorkloadClass};
 use colab::sweep::parallel_map;
 use colab::SchedulerKind;
 
-fn main() {
+fn main() -> ExitCode {
     let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--jobs" {
-            jobs = args
-                .next()
-                .and_then(|v| v.parse().ok())
-                .expect("--jobs needs a count");
+            jobs = match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => n,
+                None => {
+                    eprintln!("error: --jobs needs a count");
+                    return ExitCode::FAILURE;
+                }
+            };
         } else {
             positional.push(arg);
         }
@@ -49,8 +53,15 @@ fn main() {
         render_scheduler(kind, &spec, &model, big, little, scale)
     });
     for block in blocks {
-        print!("{block}");
+        match block {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
+    ExitCode::SUCCESS
 }
 
 /// Runs one scheduler on the workload and renders its diagnostic block.
@@ -61,11 +72,14 @@ fn render_scheduler(
     big: usize,
     little: usize,
     scale: f64,
-) -> String {
+) -> Result<String, String> {
     let machine = MachineConfig::asymmetric(big, little, CoreOrder::BigFirst);
-    let sim = Simulation::build_scaled(&machine, spec, 42, Scale::new(scale)).unwrap();
+    let sim = Simulation::build_scaled(&machine, spec, 42, Scale::new(scale))
+        .map_err(|e| format!("building {} workload: {e}", spec.name()))?;
     let mut sched = kind.create(&machine, model);
-    let out = sim.run(sched.as_mut()).unwrap();
+    let out = sim
+        .run(sched.as_mut())
+        .map_err(|e| format!("running {}: {e}", kind.name()))?;
     let mut text = String::new();
     let _ = writeln!(
         text,
@@ -97,5 +111,5 @@ fn render_scheduler(
     let idle_ratio: f64 = 1.0 - out.utilization();
     let _ = writeln!(text, "  idle fraction {:.3}", idle_ratio);
     let _ = write!(text, "{}", out.telemetry);
-    text
+    Ok(text)
 }

@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--scale F] [--heuristic-model] [--jobs N] [--table2|--table3|--table4]
 //!       [--fig4|--fig5|--fig6|--fig7|--fig8|--fig9] [--summary]
-//!       [--ablation] [--all] [--csv DIR] [--trace-json DIR]
+//!       [--ablation] [--faults] [--all] [--csv DIR] [--trace-json DIR]
 //! ```
 //!
 //! With no selection flags, `--all` is assumed. `--scale` shrinks the
@@ -255,6 +255,7 @@ fn main() -> ExitCode {
     figure!("fairness", experiments::fairness);
     figure!("freqsweep", experiments::frequency_sweep);
     figure!("staggered", experiments::staggered);
+    figure!("faults", experiments::faults);
 
     if wants("summary") {
         println!("scheduler decision telemetry (pooled over evaluated cells, per run):");

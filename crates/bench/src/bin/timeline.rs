@@ -59,10 +59,21 @@ fn main() {
         ..SimParams::default()
     };
     let apps = spec.instantiate(42, Scale::new(scale));
-    let sim = Simulation::from_apps_with_params(&machine, apps, 42, params)
-        .expect("workload builds");
+    let sim = match Simulation::from_apps_with_params(&machine, apps, 42, params) {
+        Ok(sim) => sim,
+        Err(e) => {
+            eprintln!("error building {workload_name}: {e}");
+            std::process::exit(1);
+        }
+    };
     let mut sched = kind.create(&machine, &SpeedupModel::heuristic());
-    let outcome = sim.run(sched.as_mut()).expect("simulation completes");
+    let outcome = match sim.run(sched.as_mut()) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("error running {} on {workload_name}: {e}", kind.name());
+            std::process::exit(1);
+        }
+    };
 
     println!(
         "{} under {} on {machine} — makespan {}, {} switches, {} migrations\n",

@@ -244,6 +244,21 @@ pub fn render_chrome_trace(machine: &MachineConfig, outcome: &SimulationOutcome)
                     ("from_core", from.index().to_string()),
                 ],
             ),
+            SchedEvent::CoreOffline { core } => (
+                "core_offline",
+                vec![("core", core.index().to_string())],
+            ),
+            SchedEvent::CoreOnline { core } => (
+                "core_online",
+                vec![("core", core.index().to_string())],
+            ),
+            SchedEvent::Throttle { core, factor } => (
+                "throttle",
+                vec![
+                    ("core", core.index().to_string()),
+                    ("factor", format!("{factor:.2}")),
+                ],
+            ),
         };
         trace.instant(name, "sched", PID, stamped.core.index() as u64, us(stamped.at), &args);
     }

@@ -1210,6 +1210,160 @@ impl fmt::Display for Ablation {
 }
 
 // ---------------------------------------------------------------------
+// Fault-injection study (extension): dynamic machines
+
+/// One row of the fault study: one scheduler at one fault intensity,
+/// aggregated over seeds.
+#[derive(Debug, Clone)]
+pub struct FaultsRow {
+    /// Scheduler name.
+    pub scheduler: &'static str,
+    /// Fault-plan intensity (expected faults per core).
+    pub intensity: f64,
+    /// Mean fault events injected per run.
+    pub faults_injected: f64,
+    /// Mean forced migrations (hotplug/throttle evictions) per run.
+    pub forced_migrations: f64,
+    /// Mean core-seconds lost to offline cores per run.
+    pub offline_core_seconds: f64,
+    /// Geomean of clean/faulted makespan ratio (1.0 = unharmed).
+    pub throughput_retained: f64,
+    /// Geomean of clean/faulted mean-turnaround ratio (1.0 = unharmed).
+    pub antt_retained: f64,
+}
+
+/// Fault-injection study: seeded hotplug/DVFS/PMU fault plans replayed
+/// against each scheduler, measuring how much throughput and turnaround
+/// survive relative to the same scheduler on the fault-free machine.
+#[derive(Debug, Clone)]
+pub struct FaultsStudy {
+    /// Workload used for every cell.
+    pub workload: String,
+    /// Rows ordered by intensity then scheduler (`SchedulerKind::ALL`).
+    pub rows: Vec<FaultsRow>,
+}
+
+/// Runs the fault study on 2B2S: for each seed, a clean baseline run per
+/// scheduler plus one faulted run per intensity. The plan window is taken
+/// from the clean Linux makespan, and plans depend only on
+/// `(machine, seed, intensity, window)`, so every scheduler replays the
+/// *same* disturbance sequence — the comparison isolates policy response.
+///
+/// # Errors
+///
+/// Propagates simulation failures and invalid fault plans.
+pub fn faults(h: &mut Harness) -> Result<FaultsStudy> {
+    use amp_sim::faults::FaultPlan;
+    use amp_sim::{Simulation, SimulationOutcome};
+    use amp_types::{CoreOrder, MachineConfig, SimDuration};
+
+    const INTENSITIES: [f64; 3] = [0.5, 1.0, 2.0];
+    const SEEDS: [u64; 3] = [11, 12, 13];
+
+    let machine = MachineConfig::asymmetric(2, 2, CoreOrder::BigFirst);
+    let spec = PaperWorkload::all()
+        .into_iter()
+        .find(|w| w.num_programs() == 4)
+        .map(|w| w.spec())
+        .unwrap_or_else(|| WorkloadSpec::single(BenchmarkId::Ferret, 6));
+    let workload = spec.name().to_string();
+
+    let run = |h: &Harness,
+               kind: SchedulerKind,
+               seed: u64,
+               plan: FaultPlan|
+     -> Result<SimulationOutcome> {
+        let apps = spec.instantiate(seed, h.config().scale);
+        let sim = Simulation::from_apps_with_params(&machine, apps, seed, h.config().sim_params)?
+            .with_fault_plan(plan)?;
+        let mut sched = kind.create(&machine, h.model());
+        sim.run(sched.as_mut())
+    };
+
+    // Clean baselines, one per (scheduler, seed); the Linux makespan also
+    // bounds the fault window so plans cover the whole run.
+    let kinds = SchedulerKind::ALL;
+    let mut clean = vec![Vec::new(); kinds.len()];
+    let mut windows = Vec::new();
+    for &seed in &SEEDS {
+        for (ki, &kind) in kinds.iter().enumerate() {
+            let outcome = run(h, kind, seed, FaultPlan::empty())?;
+            if ki == 0 {
+                windows.push(SimDuration::from_nanos(outcome.makespan.as_nanos()));
+            }
+            clean[ki].push(outcome);
+        }
+    }
+
+    let mut rows = Vec::new();
+    for &intensity in &INTENSITIES {
+        for (ki, &kind) in kinds.iter().enumerate() {
+            let mut faults_injected = 0.0;
+            let mut forced = 0.0;
+            let mut offline_s = 0.0;
+            let mut stp = Vec::new();
+            let mut antt = Vec::new();
+            for (si, &seed) in SEEDS.iter().enumerate() {
+                let plan = FaultPlan::random(&machine, seed, intensity, windows[si]);
+                let outcome = run(h, kind, seed, plan)?;
+                let d = &outcome.degradation;
+                faults_injected += d.faults_injected as f64;
+                forced += d.forced_migrations as f64;
+                offline_s += d.offline_core_time.as_secs_f64();
+                stp.push(amp_sim::DegradationReport::throughput_retained(
+                    &clean[ki][si],
+                    &outcome,
+                ));
+                antt.push(amp_sim::DegradationReport::antt_retained(
+                    &clean[ki][si],
+                    &outcome,
+                ));
+            }
+            let n = SEEDS.len() as f64;
+            rows.push(FaultsRow {
+                scheduler: kind.name(),
+                intensity,
+                faults_injected: faults_injected / n,
+                forced_migrations: forced / n,
+                offline_core_seconds: offline_s / n,
+                throughput_retained: geomean(&stp),
+                antt_retained: geomean(&antt),
+            });
+        }
+    }
+    Ok(FaultsStudy { workload, rows })
+}
+
+impl fmt::Display for FaultsStudy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fault injection (extension) — {} on 2B2S, seeded hotplug/DVFS/PMU faults",
+            self.workload
+        )?;
+        writeln!(
+            f,
+            "  {:<8} {:>9} {:>7} {:>12} {:>10} {:>8} {:>9}",
+            "sched", "intensity", "faults", "forced-migr", "offline-s", "STP-ret", "ANTT-ret"
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "  {:<8} {:>9.1} {:>7.1} {:>12.1} {:>10.3} {:>8.3} {:>9.3}",
+                row.scheduler,
+                row.intensity,
+                row.faults_injected,
+                row.forced_migrations,
+                row.offline_core_seconds,
+                row.throughput_retained,
+                row.antt_retained
+            )?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
 // Tables
 
 /// Table 2: the trained model's selected counters and formula.

@@ -11,8 +11,8 @@ use std::path::Path;
 use amp_types::Result;
 
 use crate::experiments::{
-    self, Ablation, EnergyStudy, FairnessStudy, Fig4, FrequencySweep, GroupFigure, Sensitivity,
-    Staggered, Summary, Table1Quantified,
+    self, Ablation, EnergyStudy, FairnessStudy, FaultsStudy, Fig4, FrequencySweep, GroupFigure,
+    Sensitivity, Staggered, Summary, Table1Quantified,
 };
 use crate::harness::Harness;
 
@@ -170,6 +170,29 @@ pub fn telemetry_csv(h: &Harness) -> String {
     out
 }
 
+/// Fault-study rows:
+/// `scheduler,intensity,faults,forced_migrations,offline_core_s,stp_retained,antt_retained`.
+pub fn faults_csv(study: &FaultsStudy) -> String {
+    let mut out = String::from(
+        "scheduler,intensity,faults,forced_migrations,offline_core_s,\
+         stp_retained,antt_retained\n",
+    );
+    for row in &study.rows {
+        let _ = writeln!(
+            out,
+            "{},{:.2},{:.2},{:.2},{:.6},{:.6},{:.6}",
+            row.scheduler,
+            row.intensity,
+            row.faults_injected,
+            row.forced_migrations,
+            row.offline_core_seconds,
+            row.throughput_retained,
+            row.antt_retained
+        );
+    }
+    out
+}
+
 /// Quantified Table 1 rows: `policy,antt_vs_linux,stp_vs_linux`.
 pub fn table1_csv(t: &Table1Quantified) -> String {
     let mut out = String::from("policy,antt_vs_linux,stp_vs_linux\n");
@@ -217,6 +240,7 @@ pub fn write_all(h: &mut Harness, dir: &Path) -> Result<Vec<String>> {
         frequency_sweep_csv(&experiments::frequency_sweep(h)?),
     )?;
     write("staggered.csv", staggered_csv(&experiments::staggered(h)?))?;
+    write("faults.csv", faults_csv(&experiments::faults(h)?))?;
     write(
         "table1.csv",
         table1_csv(&experiments::table1_quantified(h)?),
@@ -250,7 +274,7 @@ mod tests {
         let mut h = Harness::new(ExperimentConfig::quick()).unwrap();
         let dir = std::env::temp_dir().join(format!("colab-csv-{}", std::process::id()));
         let files = write_all(&mut h, &dir).unwrap();
-        assert_eq!(files.len(), 15);
+        assert_eq!(files.len(), 16);
         let telemetry = std::fs::read_to_string(dir.join("telemetry.csv")).unwrap();
         assert!(telemetry.starts_with("workload,config,scheduler,"));
         assert!(

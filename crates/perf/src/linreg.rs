@@ -54,6 +54,14 @@ impl LinearModel {
                 "regression needs more rows ({n}) than features ({d})"
             )));
         }
+        // Degraded counter feeds can carry NaN/Inf (dropped samples divided
+        // by zero upstream); reject them here rather than poisoning the
+        // normal equations.
+        if xs.iter().flatten().chain(ys).any(|v| !v.is_finite()) {
+            return Err(Error::Numerical(
+                "regression input contains non-finite values".into(),
+            ));
+        }
 
         // Normal equations over X augmented with an intercept column.
         let m = d + 1;
@@ -135,14 +143,10 @@ impl LinearModel {
 fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>> {
     let n = a.len();
     for col in 0..n {
-        let pivot = (col..n)
-            .max_by(|&i, &j| {
-                a[i][col]
-                    .abs()
-                    .partial_cmp(&a[j][col].abs())
-                    .expect("finite matrix entries")
-            })
-            .expect("non-empty pivot range");
+        let Some(pivot) = (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+        else {
+            return Err(Error::Numerical("empty pivot range".into()));
+        };
         if a[pivot][col].abs() < 1e-300 {
             return Err(Error::Numerical("singular normal system".into()));
         }
@@ -226,6 +230,30 @@ mod tests {
     fn rejects_mismatched_rows() {
         assert!(LinearModel::fit(&[vec![1.0]], &[1.0, 2.0]).is_err());
         assert!(LinearModel::fit(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn tolerates_all_zero_counter_column() {
+        // A fully dropped counter shows up as an all-zero column; the ridge
+        // keeps the normal system solvable and the dead feature gets a
+        // (near-)zero coefficient.
+        let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64, 0.0]).collect();
+        let ys: Vec<f64> = (0..40).map(|i| 5.0 * i as f64 + 2.0).collect();
+        let m = LinearModel::fit(&xs, &ys).unwrap();
+        assert!((m.coefficients()[0] - 5.0).abs() < 1e-3);
+        assert!(m.coefficients()[1].abs() < 1e-3);
+    }
+
+    #[test]
+    fn rejects_non_finite_inputs() {
+        let mut xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        xs[3][0] = f64::NAN;
+        assert!(LinearModel::fit(&xs, &ys).is_err());
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let mut ys = ys;
+        ys[7] = f64::INFINITY;
+        assert!(LinearModel::fit(&xs, &ys).is_err());
     }
 
     #[test]

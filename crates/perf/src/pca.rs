@@ -61,6 +61,13 @@ impl Pca {
         if d == 0 || rows.iter().any(|r| r.len() != d) {
             return Err(Error::Numerical("PCA input must be rectangular".into()));
         }
+        // Degraded counter feeds can carry NaN/Inf; they would spread
+        // through the correlation matrix and stall the Jacobi sweeps.
+        if rows.iter().flatten().any(|v| !v.is_finite()) {
+            return Err(Error::Numerical(
+                "PCA input contains non-finite values".into(),
+            ));
+        }
 
         let mut mean = vec![0.0; d];
         for row in rows {
@@ -116,11 +123,7 @@ impl Pca {
 
         // Sort components by decreasing eigenvalue.
         let mut order: Vec<usize> = (0..d).collect();
-        order.sort_by(|&a, &b| {
-            eigenvalues[b]
-                .partial_cmp(&eigenvalues[a])
-                .expect("eigenvalues are finite")
-        });
+        order.sort_by(|&a, &b| eigenvalues[b].total_cmp(&eigenvalues[a]));
         let sorted_vals: Vec<f64> = order.iter().map(|&i| eigenvalues[i].max(0.0)).collect();
         let sorted_vecs: Vec<Vec<f64>> = order
             .iter()
@@ -181,11 +184,7 @@ impl Pca {
             }
         }
         let mut order: Vec<usize> = (0..d).collect();
-        order.sort_by(|&a, &b| {
-            scores[b]
-                .partial_cmp(&scores[a])
-                .expect("scores are finite")
-        });
+        order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
         order
     }
 }
@@ -228,7 +227,7 @@ pub fn rank_features_for_target(rows: &[Vec<f64>], target: &[f64]) -> Result<Vec
         }
     }
     let mut order: Vec<usize> = (0..d).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
     Ok(order)
 }
 
@@ -408,5 +407,30 @@ mod tests {
         assert!(Pca::fit(&[]).is_err());
         assert!(Pca::fit(&[vec![1.0]]).is_err());
         assert!(Pca::fit(&[vec![1.0, 2.0], vec![1.0]]).is_err());
+    }
+
+    #[test]
+    fn all_zero_variance_data_fits() {
+        // Every counter dropped to a constant: the fit must not divide by
+        // zero or panic, and no component can claim any variance.
+        let rows: Vec<Vec<f64>> = (0..20).map(|_| vec![3.0, 0.0, -1.0]).collect();
+        let pca = Pca::fit(&rows).unwrap();
+        for ratio in pca.explained_variance_ratio() {
+            assert!(approx(ratio, 0.0, 1e-9));
+        }
+        let mut ranked = pca.rank_features();
+        ranked.sort_unstable();
+        assert_eq!(ranked, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rejects_non_finite_inputs() {
+        let mut rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i as f64).cos()])
+            .collect();
+        rows[5][1] = f64::NAN;
+        assert!(Pca::fit(&rows).is_err());
+        let target = vec![0.0; 20];
+        assert!(rank_features_for_target(&rows, &target).is_err());
     }
 }

@@ -117,6 +117,16 @@ impl CfsEngine {
         Some(thread)
     }
 
+    /// Empties a core's queue entirely (hot-unplug: the simulator
+    /// re-routes the returned threads through `enqueue`).
+    pub fn drain(&mut self, core: CoreId) -> Vec<ThreadId> {
+        let mut drained = Vec::with_capacity(self.nr_queued(core));
+        while let Some(thread) = self.pop_local(core) {
+            drained.push(thread);
+        }
+        drained
+    }
+
     /// Idle balancing: pull the leftmost thread of the most loaded other
     /// queue (among threads passing `allowed`).
     pub fn steal_for(
@@ -180,14 +190,20 @@ impl CfsEngine {
     pub fn balance(&mut self, ctx: &SchedCtx<'_>, allowed: impl Fn(ThreadId, CoreId) -> bool) {
         let cores = self.rqs.len();
         for _ in 0..cores {
-            let busiest = (0..cores)
-                .map(|i| CoreId::new(i as u32))
+            // Only online cores participate: pushing work to a
+            // hot-unplugged core would strand it on a dead queue.
+            let Some(busiest) = ctx
+                .online_cores()
                 .max_by_key(|&c| (self.load(ctx, c), c.index()))
-                .expect("machine has cores");
-            let idlest = (0..cores)
-                .map(|i| CoreId::new(i as u32))
+            else {
+                return;
+            };
+            let Some(idlest) = ctx
+                .online_cores()
                 .min_by_key(|&c| (self.load(ctx, c), c.index()))
-                .expect("machine has cores");
+            else {
+                return;
+            };
             if self.load(ctx, busiest) < self.load(ctx, idlest) + 2 {
                 return;
             }
@@ -209,9 +225,16 @@ impl CfsEngine {
         }
     }
 
-    /// Core a thread should requeue on: where it last ran.
+    /// Core a thread should requeue on: where it last ran, unless that
+    /// core has been hot-unplugged, in which case the least-loaded online
+    /// core takes it.
     pub fn requeue_core(&self, ctx: &SchedCtx<'_>, thread: ThreadId) -> CoreId {
-        ctx.thread(thread).last_core.unwrap_or(CoreId::new(0))
+        match ctx.thread(thread).last_core {
+            Some(core) if ctx.core_online(core) => core,
+            _ => self
+                .select_core(ctx, ctx.online_cores())
+                .unwrap_or(CoreId::new(0)),
+        }
     }
 
     /// Current vruntime of a thread (inspection for tests/diagnostics).
@@ -269,8 +292,8 @@ impl Scheduler for CfsScheduler {
             EnqueueReason::Requeue => self.engine.requeue_core(ctx, thread),
             EnqueueReason::Spawn | EnqueueReason::Wake => self
                 .engine
-                .select_core(ctx, ctx.machine.iter().map(|(id, _)| id))
-                .expect("machine has cores"),
+                .select_core(ctx, ctx.online_cores())
+                .unwrap_or_else(|| self.engine.requeue_core(ctx, thread)),
         };
         self.engine.enqueue(thread, core);
         core
@@ -314,6 +337,10 @@ impl Scheduler for CfsScheduler {
         _reason: StopReason,
     ) {
         self.engine.charge(thread, ran);
+    }
+
+    fn drain_core(&mut self, _ctx: &SchedCtx<'_>, core: CoreId) -> Vec<ThreadId> {
+        self.engine.drain(core)
     }
 }
 

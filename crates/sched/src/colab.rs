@@ -227,6 +227,21 @@ impl ColabScheduler {
         }
     }
 
+    /// Like [`allocate`](Self::allocate), but skips hot-unplugged cores:
+    /// the round-robin cursor advances past offline entries (keeping the
+    /// rotation deterministic) and falls back to the first online core if
+    /// the whole preferred group is down. With every core online this is
+    /// exactly one `allocate` call — identical cursor movement.
+    fn allocate_online(&mut self, ctx: &SchedCtx<'_>, thread: ThreadId) -> CoreId {
+        for _ in 0..self.rqs.len() {
+            let core = self.allocate(thread);
+            if ctx.core_online(core) {
+                return core;
+            }
+        }
+        ctx.online_cores().next().unwrap_or(CoreId::new(0))
+    }
+
     /// Criticality key used by the selector: blocking EWMA, then total
     /// caused-waiting as tie-break.
     fn block_key(&self, ctx: &SchedCtx<'_>, thread: ThreadId) -> (u64, u64) {
@@ -251,8 +266,7 @@ impl ColabScheduler {
             .iter()
             .enumerate()
             .max_by_key(|&(i, &t)| (self.block_key(ctx, t), std::cmp::Reverse(i)))
-            .map(|(i, _)| i)
-            .expect("non-empty queue");
+            .map(|(i, _)| i)?;
         Some(self.rqs[core.index()].remove(best))
     }
 
@@ -375,25 +389,28 @@ impl Scheduler for ColabScheduler {
         let core = match reason {
             // Keep requeues local: the allocator places spawned/woken
             // threads, the selector migrates waiting ones when useful.
-            EnqueueReason::Requeue => ctx
-                .thread(thread)
-                .last_core
-                .unwrap_or_else(|| self.allocate(thread)),
+            // A hot-unplugged last core sends the thread back through the
+            // allocator instead.
+            EnqueueReason::Requeue => match ctx.thread(thread).last_core {
+                Some(last) if ctx.core_online(last) => last,
+                _ => self.allocate_online(ctx, thread),
+            },
             // Wakes stay cache-warm on their previous core when it lies
             // inside the label's cluster group; the hierarchical RR only
             // re-routes threads whose label demands the other cluster.
             EnqueueReason::Wake => match ctx.thread(thread).last_core {
                 Some(last)
-                    if self.in_group(
-                        self.labels[thread.index()],
-                        ctx.core_kind(last).is_big(),
-                    ) =>
+                    if ctx.core_online(last)
+                        && self.in_group(
+                            self.labels[thread.index()],
+                            ctx.core_kind(last).is_big(),
+                        ) =>
                 {
                     last
                 }
-                _ => self.allocate(thread),
+                _ => self.allocate_online(ctx, thread),
             },
-            EnqueueReason::Spawn => self.allocate(thread),
+            EnqueueReason::Spawn => self.allocate_online(ctx, thread),
         };
         self.rqs[core.index()].push(thread);
         core
@@ -503,14 +520,24 @@ impl Scheduler for ColabScheduler {
             let mut i = 0;
             while i < self.rqs[ci].len() {
                 let t = self.rqs[ci][i];
+                // A thread is only misplaced if its preferred cluster has
+                // an *online* core to receive it — otherwise re-routing
+                // would bounce it straight back into this queue (and this
+                // scan) via the allocator's fallback.
                 let misplaced = match self.labels[t.index()] {
-                    Label::HighSpeedup => !kind.is_big() && !self.big_cores.is_empty(),
-                    Label::NonCritical => kind.is_big() && !self.little_cores.is_empty(),
+                    Label::HighSpeedup => {
+                        !kind.is_big()
+                            && self.big_cores.iter().any(|&c| ctx.core_online(c))
+                    }
+                    Label::NonCritical => {
+                        kind.is_big()
+                            && self.little_cores.iter().any(|&c| ctx.core_online(c))
+                    }
                     Label::Flexible => false,
                 };
                 if misplaced && ctx.thread(t).phase == ThreadPhase::Ready {
                     self.rqs[ci].remove(i);
-                    let dest = self.allocate(t);
+                    let dest = self.allocate_online(ctx, t);
                     self.rqs[dest.index()].push(t);
                 } else {
                     i += 1;
@@ -529,6 +556,10 @@ impl Scheduler for ColabScheduler {
     ) {
         self.vruntime[thread.index()] =
             self.vruntime[thread.index()].saturating_add(ran.as_nanos());
+    }
+
+    fn drain_core(&mut self, _ctx: &SchedCtx<'_>, core: CoreId) -> Vec<ThreadId> {
+        std::mem::take(&mut self.rqs[core.index()])
     }
 }
 

@@ -70,8 +70,8 @@ impl Scheduler for EqualProgressScheduler {
             EnqueueReason::Requeue => self.engine.requeue_core(ctx, thread),
             EnqueueReason::Spawn | EnqueueReason::Wake => self
                 .engine
-                .select_core(ctx, ctx.machine.iter().map(|(id, _)| id))
-                .expect("machine has cores"),
+                .select_core(ctx, ctx.online_cores())
+                .unwrap_or_else(|| self.engine.requeue_core(ctx, thread)),
         };
         self.engine.enqueue(thread, core);
         core
@@ -136,6 +136,10 @@ impl Scheduler for EqualProgressScheduler {
             ran.div_f64(self.speedup[thread.index()].max(1.0))
         };
         self.engine.charge(thread, charged);
+    }
+
+    fn drain_core(&mut self, _ctx: &SchedCtx<'_>, core: CoreId) -> Vec<ThreadId> {
+        self.engine.drain(core)
     }
 }
 

@@ -240,6 +240,10 @@ impl Scheduler for GtsScheduler {
     ) {
         self.engine.charge(thread, ran);
     }
+
+    fn drain_core(&mut self, _ctx: &SchedCtx<'_>, core: CoreId) -> Vec<ThreadId> {
+        self.engine.drain(core)
+    }
 }
 
 impl GtsScheduler {
@@ -251,14 +255,17 @@ impl GtsScheduler {
             _ => &[],
         };
         if group.is_empty() {
-            // Unrestricted (or degenerate machine): range over every core
-            // without materializing the list.
-            self.engine
-                .select_core(ctx, ctx.machine.iter().map(|(id, _)| id))
+            // Unrestricted (or degenerate machine): range over every
+            // online core without materializing the list.
+            self.engine.select_core(ctx, ctx.online_cores())
         } else {
-            self.engine.select_core(ctx, group.iter().copied())
+            // The preferred cluster may be entirely hot-unplugged; fall
+            // back to any online core rather than stranding the thread.
+            self.engine
+                .select_core(ctx, group.iter().copied().filter(|&c| ctx.core_online(c)))
+                .or_else(|| self.engine.select_core(ctx, ctx.online_cores()))
         }
-        .expect("placement group is non-empty")
+        .unwrap_or(CoreId::new(0))
     }
 }
 

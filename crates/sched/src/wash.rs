@@ -237,22 +237,29 @@ impl Scheduler for WashScheduler {
                 if self.allowed(ctx, thread, last) {
                     last
                 } else {
-                    // Affinity changed since it last ran: go to a big core.
+                    // Affinity changed since it last ran: go to a big core
+                    // — or, if every big core is hot-unplugged, to any
+                    // online core rather than stranding the thread.
                     self.engine
-                        .select_core(ctx, self.big_cores.iter().copied())
-                        .expect("big cores exist when big_only is set")
+                        .select_core(
+                            ctx,
+                            self.big_cores
+                                .iter()
+                                .copied()
+                                .filter(|&c| ctx.core_online(c)),
+                        )
+                        .or_else(|| self.engine.select_core(ctx, ctx.online_cores()))
+                        .unwrap_or(last)
                 }
             }
             EnqueueReason::Spawn | EnqueueReason::Wake => self
                 .engine
                 .select_core(
                     ctx,
-                    ctx.machine
-                        .iter()
-                        .map(|(id, _)| id)
-                        .filter(|&c| self.allowed(ctx, thread, c)),
+                    ctx.online_cores().filter(|&c| self.allowed(ctx, thread, c)),
                 )
-                .expect("affinity masks always leave at least one core"),
+                .or_else(|| self.engine.select_core(ctx, ctx.online_cores()))
+                .unwrap_or(CoreId::new(0)),
         };
         self.engine.enqueue(thread, core);
         core
@@ -304,6 +311,10 @@ impl Scheduler for WashScheduler {
         _reason: StopReason,
     ) {
         self.engine.charge(thread, ran);
+    }
+
+    fn drain_core(&mut self, _ctx: &SchedCtx<'_>, core: CoreId) -> Vec<ThreadId> {
+        self.engine.drain(core)
     }
 }
 

@@ -17,18 +17,19 @@
 
 use std::cell::RefCell;
 
+use amp_faults::{FaultKind, FaultPlan};
 use amp_futex::{OpResult, SyncObjects};
-use amp_perf::{ExecutionProfile, PmuCounters};
+use amp_perf::{Counter, ExecutionProfile, PmuCounters};
 use amp_telemetry::{ClusterDirection, PreemptCause, SchedEvent, Telemetry};
 use amp_types::{
     AppId, CoreId, CoreKind, Error, MachineConfig, Result, SimDuration, SimTime, ThreadId,
 };
 use amp_workloads::{Action, AppSpec, Cursor, Program, Scale, WorkloadSpec};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use crate::equeue::{EventKey, EventQueue};
-use crate::outcome::{AppOutcome, SimulationOutcome, ThreadStats};
+use crate::outcome::{AppOutcome, DegradationReport, SimulationOutcome, ThreadStats};
 use crate::params::SimParams;
 use crate::sched::{
     EnqueueReason, Pick, SchedCtx, Scheduler, StopReason, ThreadPhase, ThreadView,
@@ -41,6 +42,8 @@ enum Event {
     Tick,
     /// A staggered application's threads become ready.
     Arrival { app: AppId },
+    /// The `index`-th event of the fault plan strikes.
+    Fault { index: usize },
 }
 
 /// Engine-private per-thread state (public facts live in [`ThreadView`]).
@@ -130,6 +133,30 @@ pub struct Simulation {
     barrier_map: Vec<Vec<amp_types::BarrierId>>,
     channel_map: Vec<Vec<amp_types::ChannelId>>,
     rng: StdRng,
+    /// The fault schedule (empty by default; see
+    /// [`with_fault_plan`](Simulation::with_fault_plan)).
+    fault_plan: FaultPlan,
+    /// Dedicated generator for counter-degradation faults, seeded from
+    /// the plan. Kept apart from `rng` so an empty plan leaves the
+    /// engine's RNG stream — and thus every synthesized counter —
+    /// bit-identical to a run without fault support.
+    fault_rng: StdRng,
+    /// Per-core availability; hot-unplugged cores are never dispatched.
+    online: Vec<bool>,
+    /// Per-core current clock in GHz (tracks throttle faults; mirrors
+    /// `CoreState::freq_ghz` for the read-only scheduler view).
+    speeds: Vec<f64>,
+    /// When each offline core went down (None while online).
+    offline_since: Vec<Option<SimTime>>,
+    /// Current multiplier on migration overheads (1.0 = nominal).
+    migration_cost_factor: f64,
+    /// Active PMU degradation (0.0 = clean).
+    counter_dropout: f64,
+    counter_jitter: f64,
+    degradation: DegradationReport,
+    /// First scheduler-invariant violation observed on a path that cannot
+    /// return `Result` (e.g. inside `dispatch`); the run loop surfaces it.
+    fatal: Option<Error>,
     trace: Trace,
     /// Decision telemetry. In a `RefCell` so the read-only [`SchedCtx`]
     /// can hand policies a recording hook; every borrow is short-lived
@@ -349,6 +376,16 @@ impl Simulation {
             barrier_map,
             channel_map,
             rng: StdRng::seed_from_u64(seed ^ 0xC0_1AB),
+            fault_plan: FaultPlan::empty(),
+            fault_rng: StdRng::seed_from_u64(seed ^ 0xFA_07),
+            online: vec![true; num_cores],
+            speeds: machine.iter().map(|(_, spec)| spec.freq_ghz).collect(),
+            offline_since: vec![None; num_cores],
+            migration_cost_factor: 1.0,
+            counter_dropout: 0.0,
+            counter_jitter: 0.0,
+            degradation: DegradationReport::default(),
+            fatal: None,
             trace: Trace::with_capacity(params.trace_capacity),
             telemetry: RefCell::new(Telemetry::new(params.event_capacity)),
             in_tick: false,
@@ -362,6 +399,25 @@ impl Simulation {
     /// Total threads loaded.
     pub fn num_threads(&self) -> usize {
         self.threads.len()
+    }
+
+    /// Arms a fault schedule for the run: each plan event is pushed onto
+    /// the ordinary event queue and injected when simulated time reaches
+    /// it. An empty plan pushes nothing, draws nothing from any RNG, and
+    /// leaves the run bit-identical to one without fault support.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidFaultPlan`] if the plan fails
+    /// [`FaultPlan::validate`] against this simulation's machine.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Result<Simulation> {
+        plan.validate(&self.machine)?;
+        self.fault_rng = StdRng::seed_from_u64(plan.seed() ^ 0xFA_07);
+        for (index, event) in plan.events().iter().enumerate() {
+            self.events.push(event.at.as_nanos(), Event::Fault { index });
+        }
+        self.fault_plan = plan;
+        Ok(self)
     }
 
     /// Runs the simulation to completion under `sched`.
@@ -381,13 +437,17 @@ impl Simulation {
             if arrival == SimTime::ZERO {
                 for i in 0..self.apps[ai].1.len() {
                     let t = self.apps[ai].1[i];
-                    sched.enqueue(&self.ctx(), t, EnqueueReason::Spawn);
+                    let target = sched.enqueue(&self.ctx(), t, EnqueueReason::Spawn);
+                    self.note_enqueue_target(target);
                 }
             } else {
                 self.push_event(arrival, Event::Arrival { app: AppId::new(ai as u32) });
             }
         }
         self.kick_idle_cores(sched);
+        if let Some(err) = self.fatal.take() {
+            return Err(err);
+        }
         let tick = self.params.tick;
         self.push_event(self.now + tick, Event::Tick);
 
@@ -432,6 +492,7 @@ impl Simulation {
                         self.views[tid.index()].phase = ThreadPhase::Ready;
                         self.threads[tid.index()].ready_since = self.now;
                         let target = sched.enqueue(&self.ctx(), tid, EnqueueReason::Spawn);
+                        self.note_enqueue_target(target);
                         if let Some(current) = self.running[target.index()] {
                             if sched.should_preempt(&self.ctx(), tid, target, current) {
                                 self.preempt_core(target, sched);
@@ -465,6 +526,12 @@ impl Simulation {
                     self.in_tick = false;
                     self.push_event(self.now + tick, Event::Tick);
                 }
+                Event::Fault { index } => {
+                    self.apply_fault(index, sched)?;
+                }
+            }
+            if let Some(err) = self.fatal.take() {
+                return Err(err);
             }
         }
 
@@ -484,7 +551,135 @@ impl Simulation {
             machine: &self.machine,
             threads: &self.views,
             running: &self.running,
+            online: &self.online,
+            speeds: &self.speeds,
             telemetry: &self.telemetry,
+        }
+    }
+
+    /// Tracks where the policy routed an enqueue: routing a runnable
+    /// thread to an offline core is the invariant the chaos layer checks.
+    fn note_enqueue_target(&mut self, target: CoreId) {
+        if !self.online[target.index()] {
+            self.degradation.stranded_enqueues += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // fault injection
+
+    /// Injects the `index`-th event of the armed fault plan.
+    fn apply_fault(&mut self, index: usize, sched: &mut dyn Scheduler) -> Result<()> {
+        let event = self.fault_plan.events()[index];
+        self.degradation.faults_injected += 1;
+        // Fault-driven preemptions are machine-initiated, like tick
+        // rebalancing — classify them as such in telemetry.
+        self.in_tick = true;
+        let result = match event.kind {
+            FaultKind::CoreOffline { core } => self.core_offline(core, sched),
+            FaultKind::CoreOnline { core } => {
+                self.core_online(core, sched);
+                Ok(())
+            }
+            FaultKind::Throttle { core, factor } => {
+                self.throttle_core(core, factor, sched);
+                Ok(())
+            }
+            FaultKind::CounterNoise { dropout, jitter } => {
+                self.degradation.counter_faults += 1;
+                self.counter_dropout = dropout;
+                self.counter_jitter = jitter;
+                Ok(())
+            }
+            FaultKind::MigrationSpike { factor } => {
+                self.degradation.migration_spikes += 1;
+                self.migration_cost_factor = factor;
+                Ok(())
+            }
+        };
+        self.in_tick = false;
+        result
+    }
+
+    /// Hot-unplugs `core`: evicts its running thread, drains its
+    /// runqueue, and re-routes everything through the scheduler.
+    fn core_offline(&mut self, core: CoreId, sched: &mut dyn Scheduler) -> Result<()> {
+        let i = core.index();
+        if !self.online[i] {
+            return Ok(()); // already down; idempotent
+        }
+        if self.online.iter().filter(|&&o| o).count() == 1 {
+            // Unreachable for validated plans; a defense for hand-armed
+            // state mutation paths.
+            return Err(Error::NoOnlineCore);
+        }
+        self.online[i] = false;
+        self.offline_since[i] = Some(self.now);
+        self.degradation.hotplug_offlines += 1;
+        self.telemetry
+            .borrow_mut()
+            .record(self.now, core, SchedEvent::CoreOffline { core });
+        if let Some(tid) = self.running[i] {
+            self.account_run(core, tid);
+            self.threads[tid.index()].preemptions += 1;
+            self.degradation.forced_migrations += 1;
+            self.deschedule(core, tid, StopReason::Preempted, sched);
+        }
+        // Threads queued on the dead core must be re-routed, or they
+        // would wait forever on a core that never picks again.
+        let orphans = sched.drain_core(&self.ctx(), core);
+        for tid in orphans {
+            self.degradation.forced_migrations += 1;
+            let target = sched.enqueue(&self.ctx(), tid, EnqueueReason::Requeue);
+            self.note_enqueue_target(target);
+        }
+        self.kick_idle_cores(sched);
+        Ok(())
+    }
+
+    /// Brings `core` back online and offers it work immediately.
+    fn core_online(&mut self, core: CoreId, sched: &mut dyn Scheduler) {
+        let i = core.index();
+        if self.online[i] {
+            return; // already up; idempotent
+        }
+        self.online[i] = true;
+        if let Some(since) = self.offline_since[i].take() {
+            self.degradation.offline_core_time += self.now.saturating_since(since);
+        }
+        self.degradation.hotplug_onlines += 1;
+        self.telemetry
+            .borrow_mut()
+            .record(self.now, core, SchedEvent::CoreOnline { core });
+        self.dispatch(core, sched);
+    }
+
+    /// Rescales `core`'s clock to `factor` × nominal. Work retired so far
+    /// is accounted at the old rate; the running thread (if any) is
+    /// preempted so its next segment is re-timed at the new rate and the
+    /// policy can reconsider its placement.
+    fn throttle_core(&mut self, core: CoreId, factor: f64, sched: &mut dyn Scheduler) {
+        let i = core.index();
+        self.degradation.throttles += 1;
+        if let Some(tid) = self.running[i] {
+            self.account_run(core, tid);
+        }
+        let nominal = self.machine.core(core).freq_ghz;
+        let new_freq = nominal * factor;
+        let c = &mut self.cores[i];
+        c.freq_ghz = new_freq;
+        c.freq_ratio = new_freq
+            / match c.kind {
+                CoreKind::Big => 2.0,
+                CoreKind::Little => 1.2,
+            };
+        self.speeds[i] = new_freq;
+        self.telemetry
+            .borrow_mut()
+            .record(self.now, core, SchedEvent::Throttle { core, factor });
+        if self.running[i].is_some() {
+            self.degradation.forced_migrations += 1;
+            self.preempt_core(core, sched);
         }
     }
 
@@ -669,6 +864,7 @@ impl Simulation {
         }
 
         let target = sched.enqueue(&self.ctx(), tid, EnqueueReason::Wake);
+        self.note_enqueue_target(target);
         match self.running[target.index()] {
             None => self.dispatch(target, sched),
             Some(current) if current != tid => {
@@ -728,7 +924,8 @@ impl Simulation {
         self.views[tid.index()].phase = ThreadPhase::Ready;
         self.threads[tid.index()].ready_since = self.now;
         sched.on_stop(&self.ctx(), tid, core, stint, reason);
-        sched.enqueue(&self.ctx(), tid, EnqueueReason::Requeue);
+        let target = sched.enqueue(&self.ctx(), tid, EnqueueReason::Requeue);
+        self.note_enqueue_target(target);
         self.dispatch(core, sched);
         self.kick_idle_cores(sched);
     }
@@ -782,19 +979,27 @@ impl Simulation {
         }
     }
 
-    /// Gives an idle core work via the scheduler.
+    /// Gives an idle core work via the scheduler. Offline cores are never
+    /// dispatched — whatever a policy answers for one is ignored.
     fn dispatch(&mut self, core: CoreId, sched: &mut dyn Scheduler) {
-        if self.running[core.index()].is_some() {
+        if !self.online[core.index()] || self.running[core.index()].is_some() {
             return;
         }
         match sched.pick_next(&self.ctx(), core) {
             Pick::Idle => {}
             Pick::Run(tid) => {
-                debug_assert_eq!(
-                    self.views[tid.index()].phase,
-                    ThreadPhase::Ready,
-                    "picked thread must be ready"
-                );
+                if self.views[tid.index()].phase != ThreadPhase::Ready {
+                    // A policy handing out a non-ready thread is a bug we
+                    // surface as a typed error instead of corrupting state.
+                    self.fatal.get_or_insert(Error::SchedulerInvariant(format!(
+                        "{} picked {:?} on core {} but it is {:?}",
+                        sched.name(),
+                        tid,
+                        core.index(),
+                        self.views[tid.index()].phase,
+                    )));
+                    return;
+                }
                 // Leaving the ready state: account queueing delay.
                 let since = self.threads[tid.index()].ready_since;
                 let queued = self.now.saturating_since(since);
@@ -870,10 +1075,17 @@ impl Simulation {
                         ),
                     },
                 );
-                overhead += if prev_kind == self.cores[core.index()].kind {
+                let base = if prev_kind == self.cores[core.index()].kind {
                     self.params.migration_same_kind
                 } else {
                     self.params.migration_cross_kind
+                };
+                // Exact (not just close) nominal behavior when no spike is
+                // active keeps fault-free runs byte-identical.
+                overhead += if self.migration_cost_factor == 1.0 {
+                    base
+                } else {
+                    base.mul_f64(self.migration_cost_factor)
                 };
             }
         }
@@ -933,13 +1145,21 @@ impl Simulation {
             let state = &mut self.threads[ti];
             if state.win_insts > 0.0 {
                 state.pmu_seq += 1;
-                let pmu = state.profile.synthesize_counters(
+                let mut pmu = state.profile.synthesize_counters(
                     state.win_kind,
                     state.win_cycles,
                     state.win_insts,
                     state.pmu_seq,
                     &mut self.rng,
                 );
+                if self.counter_dropout > 0.0 || self.counter_jitter > 0.0 {
+                    degrade_pmu(
+                        &mut pmu,
+                        self.counter_dropout,
+                        self.counter_jitter,
+                        &mut self.fault_rng,
+                    );
+                }
                 state.pmu_total.accumulate(&pmu);
                 state.insts_total += state.win_insts;
                 self.views[ti].pmu_window = pmu;
@@ -970,13 +1190,21 @@ impl Simulation {
             let state = &mut self.threads[ti];
             if state.win_insts > 0.0 {
                 state.pmu_seq += 1;
-                let pmu = state.profile.synthesize_counters(
+                let mut pmu = state.profile.synthesize_counters(
                     state.win_kind,
                     state.win_cycles,
                     state.win_insts,
                     state.pmu_seq,
                     &mut self.rng,
                 );
+                if self.counter_dropout > 0.0 || self.counter_jitter > 0.0 {
+                    degrade_pmu(
+                        &mut pmu,
+                        self.counter_dropout,
+                        self.counter_jitter,
+                        &mut self.fault_rng,
+                    );
+                }
                 state.pmu_total.accumulate(&pmu);
                 state.insts_total += state.win_insts;
             }
@@ -1037,6 +1265,14 @@ impl Simulation {
             .max()
             .unwrap_or(SimTime::ZERO);
 
+        // Close offline intervals still open at the end of the run.
+        for since in self.offline_since.iter_mut() {
+            if let Some(s) = since.take() {
+                self.degradation.offline_core_time += makespan.saturating_since(s);
+            }
+        }
+        let degradation = std::mem::take(&mut self.degradation);
+
         // Energy: active power while busy, idle power for the remainder
         // of the makespan.
         let power = self.params.power;
@@ -1077,6 +1313,23 @@ impl Simulation {
                 active_joules,
                 idle_joules,
             },
+            degradation,
+        }
+    }
+}
+
+/// Applies the active counter-degradation fault to one synthesized PMU
+/// window: each counter is zeroed with probability `dropout`, and each
+/// survivor gets multiplicative noise uniform in `[1 - jitter, 1 + jitter]`
+/// (clamped at zero). Draws only from the dedicated fault generator so the
+/// engine's own RNG stream is untouched.
+fn degrade_pmu(pmu: &mut PmuCounters, dropout: f64, jitter: f64, rng: &mut StdRng) {
+    for counter in Counter::ALL {
+        if dropout > 0.0 && rng.gen_bool(dropout.min(1.0)) {
+            pmu[counter] = 0.0;
+        } else if jitter > 0.0 {
+            let noise = 1.0 + rng.gen_range(-jitter..=jitter);
+            pmu[counter] *= noise.max(0.0);
         }
     }
 }

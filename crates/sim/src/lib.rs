@@ -42,9 +42,11 @@ mod rr;
 mod sched;
 mod trace;
 
+pub use amp_faults as faults;
+pub use amp_faults::{FaultEvent, FaultKind, FaultPlan};
 pub use amp_telemetry as telemetry;
 pub use engine::Simulation;
-pub use outcome::{AppOutcome, EnergyReport, SimulationOutcome, ThreadStats};
+pub use outcome::{AppOutcome, DegradationReport, EnergyReport, SimulationOutcome, ThreadStats};
 pub use params::{PowerModel, SimParams};
 pub use rr::RoundRobin;
 pub use sched::{EnqueueReason, Pick, SchedCtx, Scheduler, StopReason, ThreadPhase};

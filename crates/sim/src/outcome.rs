@@ -72,6 +72,70 @@ impl EnergyReport {
     }
 }
 
+/// How a faulted run degraded relative to the fault-free machine: the
+/// disturbances that actually landed and the scheduling work they forced.
+/// All-zero (== `Default`) for runs with an empty
+/// [`FaultPlan`](amp_faults::FaultPlan).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DegradationReport {
+    /// Fault events consumed from the plan.
+    pub faults_injected: u64,
+    /// Cores hot-unplugged (idempotent repeats not counted).
+    pub hotplug_offlines: u64,
+    /// Cores brought back online.
+    pub hotplug_onlines: u64,
+    /// Clock-rescale (throttle) faults applied.
+    pub throttles: u64,
+    /// Counter-degradation faults applied.
+    pub counter_faults: u64,
+    /// Migration-cost-spike faults applied.
+    pub migration_spikes: u64,
+    /// Threads forcibly migrated because their core went offline or was
+    /// rescaled mid-run (the "re-migrations triggered" of the fault study).
+    pub forced_migrations: u64,
+    /// Times a scheduler routed a runnable thread to an offline core —
+    /// the chaos-layer invariant; always zero for a hardened policy.
+    pub stranded_enqueues: u64,
+    /// Total core-time lost to offline cores (summed per-core downtime,
+    /// clipped to the makespan).
+    pub offline_core_time: SimDuration,
+}
+
+impl DegradationReport {
+    /// Whether the run saw no faults at all.
+    pub fn is_clean(&self) -> bool {
+        *self == DegradationReport::default()
+    }
+
+    /// Throughput retained by `faulted` relative to the fault-free run
+    /// `clean`: `clean.makespan / faulted.makespan`, 1.0 when unharmed,
+    /// smaller as faults stretch the run.
+    pub fn throughput_retained(clean: &SimulationOutcome, faulted: &SimulationOutcome) -> f64 {
+        if faulted.makespan == SimTime::ZERO {
+            return 1.0;
+        }
+        clean.makespan.as_secs_f64() / faulted.makespan.as_secs_f64()
+    }
+
+    /// Mean-turnaround retained by `faulted` relative to `clean`:
+    /// the ratio of average per-app turnarounds (clean / faulted), the
+    /// ANTT-shaped degradation signal of the fault study.
+    pub fn antt_retained(clean: &SimulationOutcome, faulted: &SimulationOutcome) -> f64 {
+        let mean = |o: &SimulationOutcome| {
+            if o.apps.is_empty() {
+                return 0.0;
+            }
+            o.apps.iter().map(|a| a.turnaround.as_secs_f64()).sum::<f64>() / o.apps.len() as f64
+        };
+        let (c, f) = (mean(clean), mean(faulted));
+        if f <= 0.0 {
+            1.0
+        } else {
+            c / f
+        }
+    }
+}
+
 /// Everything measured from one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimulationOutcome {
@@ -106,6 +170,8 @@ pub struct SimulationOutcome {
     /// run overflowed the ring these are the most recent events and
     /// [`TelemetryReport::events_dropped`] counts the overwritten rest).
     pub telemetry_events: Vec<amp_telemetry::StampedEvent>,
+    /// Fault-injection impact summary (all-zero for fault-free runs).
+    pub degradation: DegradationReport,
 }
 
 impl SimulationOutcome {

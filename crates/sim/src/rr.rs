@@ -45,11 +45,11 @@ impl Scheduler for RoundRobin {
         self.queue.clear();
     }
 
-    fn enqueue(&mut self, _ctx: &SchedCtx<'_>, thread: ThreadId, _reason: EnqueueReason) -> CoreId {
+    fn enqueue(&mut self, ctx: &SchedCtx<'_>, thread: ThreadId, _reason: EnqueueReason) -> CoreId {
         self.queue.push_back(thread);
-        // A single global queue: report core 0; the simulator kicks all
-        // idle cores after every enqueue anyway.
-        CoreId::new(0)
+        // A single global queue: report the first online core; the
+        // simulator kicks all idle cores after every enqueue anyway.
+        ctx.online_cores().next().unwrap_or(CoreId::new(0))
     }
 
     fn pick_next(&mut self, _ctx: &SchedCtx<'_>, _core: CoreId) -> Pick {

@@ -101,6 +101,8 @@ pub struct SchedCtx<'a> {
     pub machine: &'a MachineConfig,
     pub(crate) threads: &'a [ThreadView],
     pub(crate) running: &'a [Option<ThreadId>],
+    pub(crate) online: &'a [bool],
+    pub(crate) speeds: &'a [f64],
     pub(crate) telemetry: &'a RefCell<Telemetry>,
 }
 
@@ -132,6 +134,44 @@ impl<'a> SchedCtx<'a> {
     /// The kind of `core`.
     pub fn core_kind(&self, core: CoreId) -> CoreKind {
         self.machine.core(core).kind
+    }
+
+    /// Whether `core` is currently online (fault injection can hot-unplug
+    /// cores mid-run; on a static machine every core is always online).
+    pub fn core_online(&self, core: CoreId) -> bool {
+        self.online[core.index()]
+    }
+
+    /// Iterator over the cores currently accepting work. Policies must
+    /// place and steal only within this set.
+    pub fn online_cores(&self) -> impl Iterator<Item = CoreId> + '_ {
+        self.online
+            .iter()
+            .enumerate()
+            .filter(|(_, &up)| up)
+            .map(|(i, _)| CoreId::new(i as u32))
+    }
+
+    /// Number of cores currently online (always at least one).
+    pub fn num_online(&self) -> usize {
+        self.online.iter().filter(|&&up| up).count()
+    }
+
+    /// Current clock of `core` in GHz — its configured speed unless a
+    /// throttle fault has rescaled it.
+    pub fn core_speed_ghz(&self, core: CoreId) -> f64 {
+        self.speeds[core.index()]
+    }
+
+    /// Current clock of `core` relative to its configured nominal speed:
+    /// 1.0 unthrottled, below 1.0 under thermal throttling.
+    pub fn core_speed_factor(&self, core: CoreId) -> f64 {
+        let nominal = self.machine.core(core).freq_ghz;
+        if nominal > 0.0 {
+            self.speeds[core.index()] / nominal
+        } else {
+            1.0
+        }
     }
 
     /// Records a policy-side telemetry event (relabels, slice
@@ -214,4 +254,15 @@ pub trait Scheduler: Send {
         ran: SimDuration,
         reason: StopReason,
     );
+
+    /// Remove every thread queued on `core` (but not running there) from
+    /// the policy's runqueues and return them; the simulator re-enqueues
+    /// each one elsewhere. Called when a fault hot-unplugs the core, so
+    /// queued work never waits on a core that will not pick again.
+    /// Policies with a single global queue can keep the default empty
+    /// implementation — their queue serves any online core.
+    fn drain_core(&mut self, ctx: &SchedCtx<'_>, core: CoreId) -> Vec<ThreadId> {
+        let _ = (ctx, core);
+        Vec::new()
+    }
 }

@@ -179,6 +179,12 @@ pub struct Counters {
     pub futex_wakes: u64,
     /// Threads pulled to an idle core from a busy one.
     pub idle_steals: u64,
+    /// Cores hot-unplugged by fault injection.
+    pub core_offlines: u64,
+    /// Cores brought back online by fault injection.
+    pub core_onlines: u64,
+    /// Throttle (clock-rescale) faults applied.
+    pub throttles: u64,
     /// Speedup-model prediction error accumulator.
     pub prediction: PredictionError,
 }
@@ -200,7 +206,15 @@ impl Counters {
             SchedEvent::SlicePredict { .. } => self.slice_predictions += 1,
             SchedEvent::FutexWake { .. } => self.futex_wakes += 1,
             SchedEvent::IdleSteal { .. } => self.idle_steals += 1,
+            SchedEvent::CoreOffline { .. } => self.core_offlines += 1,
+            SchedEvent::CoreOnline { .. } => self.core_onlines += 1,
+            SchedEvent::Throttle { .. } => self.throttles += 1,
         }
+    }
+
+    /// Total fault events (hotplug transitions + throttles).
+    pub fn total_faults(&self) -> u64 {
+        self.core_offlines + self.core_onlines + self.throttles
     }
 
     /// Total migrations across all directions.
@@ -245,6 +259,9 @@ impl Counters {
         self.slice_predictions += other.slice_predictions;
         self.futex_wakes += other.futex_wakes;
         self.idle_steals += other.idle_steals;
+        self.core_offlines += other.core_offlines;
+        self.core_onlines += other.core_onlines;
+        self.throttles += other.throttles;
         self.prediction.absorb(&other.prediction);
     }
 }
@@ -288,6 +305,9 @@ mod tests {
         });
         c.apply(&SchedEvent::FutexWake { waker: t, woken: ThreadId(1), blocked: SimDuration::ZERO });
         c.apply(&SchedEvent::IdleSteal { thread: t, from: CoreId(0) });
+        c.apply(&SchedEvent::CoreOffline { core: CoreId(1) });
+        c.apply(&SchedEvent::CoreOnline { core: CoreId(1) });
+        c.apply(&SchedEvent::Throttle { core: CoreId(0), factor: 0.5 });
 
         assert_eq!(c.picks, 1);
         assert_eq!(c.total_migrations(), 1);
@@ -297,6 +317,10 @@ mod tests {
         assert_eq!(c.slice_predictions, 1);
         assert_eq!(c.futex_wakes, 1);
         assert_eq!(c.idle_steals, 1);
+        assert_eq!(c.core_offlines, 1);
+        assert_eq!(c.core_onlines, 1);
+        assert_eq!(c.throttles, 1);
+        assert_eq!(c.total_faults(), 3);
     }
 
     #[test]

@@ -65,6 +65,23 @@ pub enum SchedEvent {
         /// The core it was pulled from.
         from: CoreId,
     },
+    /// A fault hot-unplugged `core`; its work was forcibly migrated.
+    CoreOffline {
+        /// The core that went away.
+        core: CoreId,
+    },
+    /// A fault brought `core` back online.
+    CoreOnline {
+        /// The revived core.
+        core: CoreId,
+    },
+    /// A fault rescaled `core`'s clock to `factor` × nominal.
+    Throttle {
+        /// The rescaled core.
+        core: CoreId,
+        /// Multiplier on the nominal clock (1.0 = restored).
+        factor: f64,
+    },
 }
 
 impl SchedEvent {
@@ -78,6 +95,9 @@ impl SchedEvent {
             SchedEvent::SlicePredict { .. } => "slice_predict",
             SchedEvent::FutexWake { .. } => "futex_wake",
             SchedEvent::IdleSteal { .. } => "idle_steal",
+            SchedEvent::CoreOffline { .. } => "core_offline",
+            SchedEvent::CoreOnline { .. } => "core_online",
+            SchedEvent::Throttle { .. } => "throttle",
         }
     }
 }

@@ -98,6 +98,15 @@ impl fmt::Display for TelemetryReport {
         }
         write!(f, "  futex-wakes {:.1}/run  idle-steals {:.1}/run", self.per_run(c.futex_wakes), self.per_run(c.idle_steals))?;
         writeln!(f)?;
+        if c.total_faults() > 0 {
+            writeln!(
+                f,
+                "faults: offline {:.1}/run online {:.1}/run throttle {:.1}/run",
+                self.per_run(c.core_offlines),
+                self.per_run(c.core_onlines),
+                self.per_run(c.throttles),
+            )?;
+        }
         if c.total_relabels() > 0 {
             write!(f, "label flows:")?;
             for from in LabelClass::ALL {

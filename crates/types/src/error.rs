@@ -33,6 +33,13 @@ pub enum Error {
     ModelNotTrained,
     /// Numerical failure in the offline training pipeline.
     Numerical(String),
+    /// A fault plan failed validation against the machine it targets.
+    InvalidFaultPlan(String),
+    /// Every core of the machine is offline; nothing can run.
+    NoOnlineCore,
+    /// A scheduling policy violated an engine invariant (e.g. picked a
+    /// thread that was not runnable, or routed work to an offline core).
+    SchedulerInvariant(String),
 }
 
 impl fmt::Display for Error {
@@ -47,6 +54,11 @@ impl fmt::Display for Error {
             }
             Error::ModelNotTrained => f.write_str("speedup model used before training"),
             Error::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            Error::InvalidFaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
+            Error::NoOnlineCore => f.write_str("no core is online"),
+            Error::SchedulerInvariant(msg) => {
+                write!(f, "scheduler invariant violated: {msg}")
+            }
         }
     }
 }
@@ -65,6 +77,9 @@ mod tests {
             Error::Deadlock { blocked: 3 }.to_string(),
             Error::ModelNotTrained.to_string(),
             Error::Numerical("z".into()).to_string(),
+            Error::InvalidFaultPlan("w".into()).to_string(),
+            Error::NoOnlineCore.to_string(),
+            Error::SchedulerInvariant("v".into()).to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());
