@@ -13,9 +13,12 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId as Crite
 
 use amp_perf::SpeedupModel;
 use amp_sim::equeue::EventQueue;
-use amp_sim::Simulation;
-use amp_types::{CoreOrder, MachineConfig};
-use amp_workloads::{BenchmarkId, Scale, WorkloadSpec};
+use amp_sim::{SimParams, Simulation};
+use amp_types::{CoreOrder, MachineConfig, SimDuration};
+use amp_workloads::{
+    BenchmarkId, CompiledProgram, CompiledWorkload, Cursor, Op, Program, Scale, SegPos,
+    WorkloadSpec,
+};
 
 /// Deterministic xorshift64* stream for queue-churn time deltas.
 struct XorShift(u64);
@@ -244,9 +247,115 @@ fn bench_full_mix(c: &mut Criterion) {
     group.finish();
 }
 
+/// Segment compilation cost: what one intern-store miss pays, and what
+/// every pooled cell sharing the result saves. Compiles every app of a
+/// Table 4 composition from its instantiated op trees.
+fn bench_compile(c: &mut Criterion) {
+    let spec = WorkloadSpec::named(
+        "compile-mix",
+        vec![(BenchmarkId::Ferret, 4), (BenchmarkId::Fluidanimate, 4)],
+    );
+
+    let mut group = c.benchmark_group("compiled_workload");
+    group.bench_function("compile_mix", |b| {
+        b.iter(|| {
+            let compiled = CompiledWorkload::compile(&spec, 42, Scale::quick())
+                .expect("workload compiles");
+            black_box(compiled.apps().len())
+        })
+    });
+    group.finish();
+}
+
+/// Action-fetch throughput: draining one benchmark program through the
+/// compiled segment stream versus the legacy tree-walking cursor. The
+/// compiled stream steps a flat array; the cursor re-resolves the loop
+/// chain on every call.
+fn bench_stream_fetch(c: &mut Criterion) {
+    let spec = WorkloadSpec::single(BenchmarkId::Fluidanimate, 4);
+    let app = &spec.instantiate(42, Scale::quick())[0];
+    let thread = &app.threads[0];
+    let compiled = CompiledProgram::compile(&thread.program, thread.profile);
+
+    let mut group = c.benchmark_group("action_fetch_fluidanimate");
+    group.bench_function("compiled_stream", |b| {
+        b.iter(|| {
+            let mut pos = SegPos::new();
+            let mut n = 0u64;
+            while let Some(action) = compiled.next(&mut pos) {
+                black_box(&action);
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    group.bench_function("legacy_cursor", |b| {
+        b.iter(|| {
+            let mut cursor = Cursor::new();
+            let mut n = 0u64;
+            while let Some(action) = cursor.next(&thread.program) {
+                black_box(&action);
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+/// Event-merging payoff on a fine-grained all-compute loop (50 µs
+/// leaves, millisecond quanta): one timer event per merged stretch
+/// versus one per leaf. Paper benchmarks rarely hit this shape — their
+/// leaves are long and sync-separated — so this pins the mechanism, not
+/// the grid-wide win.
+fn bench_merged_run(c: &mut Criterion) {
+    let machine = MachineConfig::paper_2b2s(CoreOrder::BigFirst);
+    let spec = WorkloadSpec::single(BenchmarkId::Blackscholes, 4);
+    let profile = spec.instantiate(7, Scale::quick())[0].threads[0].profile;
+    let leaf = SimDuration::from_micros(50);
+    let program = Program::new(vec![Op::Loop {
+        count: 2000,
+        body: vec![Op::Compute(leaf)],
+    }]);
+    let app = amp_workloads::AppSpec {
+        name: "fine-grained".into(),
+        benchmark: BenchmarkId::Blackscholes,
+        threads: (0..4)
+            .map(|i| amp_workloads::ThreadSpec {
+                name: format!("worker-{i}"),
+                profile,
+                program: program.clone(),
+            })
+            .collect(),
+        num_locks: 0,
+        barrier_parties: Vec::new(),
+        channel_capacities: Vec::new(),
+    };
+    let model = SpeedupModel::heuristic();
+
+    let mut group = c.benchmark_group("fine_grained_loop_2b2s");
+    group.sample_size(20);
+    for (label, merge) in [("merged", true), ("per_leaf", false)] {
+        let (app, machine, model) = (app.clone(), machine.clone(), model.clone());
+        group.bench_function(label, move |b| {
+            b.iter(|| {
+                let params = SimParams { merge_segments: merge, ..SimParams::default() };
+                let sim =
+                    Simulation::from_apps_with_params(&machine, vec![app.clone()], 7, params)
+                        .expect("workload builds");
+                let mut sched = colab::SchedulerKind::Linux.create(&machine, &model);
+                let outcome = sim.run(sched.as_mut()).expect("simulation completes");
+                black_box(outcome.events_processed)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = hotpath;
     config = Criterion::default().sample_size(50);
-    targets = bench_equeue_churn, bench_equeue_rearm, bench_engine_events, bench_full_mix
+    targets = bench_equeue_churn, bench_equeue_rearm, bench_engine_events, bench_full_mix,
+        bench_compile, bench_stream_fetch, bench_merged_run
 }
 criterion_main!(hotpath);

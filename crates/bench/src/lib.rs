@@ -76,6 +76,8 @@ pub fn bench_run_json(harness: &Harness, wall_secs: f64, cells: usize) -> String
             concat!(
                 "\n    {{\"name\": \"{}\", \"runs\": {}, \"run_ms\": {:.3}, ",
                 "\"events\": {}, \"events_per_sec\": {:.0}, ",
+                "\"segments\": {}, \"segments_per_sec\": {:.0}, ",
+                "\"merged_op_ratio\": {:.2}, ",
                 "\"picks\": {}, \"run_ns_per_pick\": {:.1}}}"
             ),
             kind.name,
@@ -83,11 +85,15 @@ pub fn bench_run_json(harness: &Harness, wall_secs: f64, cells: usize) -> String
             kind.run_ns as f64 / 1e6,
             kind.events,
             kind.events_per_sec(),
+            kind.segments,
+            kind.segments_per_sec(),
+            kind.merged_op_ratio(),
             picks,
             per_pick,
         ));
     }
 
+    let interning = harness.intern_stats();
     format!(
         concat!(
             "{{\n",
@@ -96,7 +102,10 @@ pub fn bench_run_json(harness: &Harness, wall_secs: f64, cells: usize) -> String
             "  \"cells\": {},\n",
             "  \"cells_per_sec\": {:.2},\n",
             "  \"sim\": {{\"build_ms\": {:.3}, \"run_ms\": {:.3}, ",
-            "\"runs\": {}, \"events\": {}, \"events_per_sec\": {:.0}}},\n",
+            "\"runs\": {}, \"events\": {}, \"events_per_sec\": {:.0}, ",
+            "\"compute_leaves\": {}, \"segments\": {}, ",
+            "\"segments_per_sec\": {:.0}, \"merged_op_ratio\": {:.2}}},\n",
+            "  \"interning\": {{\"hits\": {}, \"misses\": {}}},\n",
             "  \"policies\": [{}\n  ]\n",
             "}}\n"
         ),
@@ -108,6 +117,12 @@ pub fn bench_run_json(harness: &Harness, wall_secs: f64, cells: usize) -> String
         cost.runs(),
         cost.events(),
         cost.events_per_sec(),
+        cost.leaves(),
+        cost.segments(),
+        cost.segments_per_sec(),
+        cost.merged_op_ratio(),
+        interning.hits,
+        interning.misses,
         policies,
     )
 }

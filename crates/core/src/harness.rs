@@ -2,6 +2,7 @@
 //! per-cell evaluation protocol of §5.1.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use amp_metrics::MixSummary;
 use amp_perf::SpeedupModel;
@@ -13,6 +14,7 @@ use amp_sim::{SimParams, Simulation};
 use amp_types::{AppId, CoreOrder, MachineConfig, Result, SimDuration};
 use amp_workloads::{BenchmarkId, Scale, WorkloadSpec};
 
+use crate::intern::ProgramStore;
 use crate::training;
 
 /// The evaluated scheduling policies: the paper's three, plus ARM GTS
@@ -126,6 +128,16 @@ pub(crate) fn rep_seed(master: u64, rep: u32) -> u64 {
     master.wrapping_add(u64::from(rep).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
+/// Shared read-only inputs for baseline and cell evaluation: the
+/// experiment configuration plus the plan-level compiled-program store.
+/// Bundled so the sweep executor hands workers a single borrow instead
+/// of threading each field through every call.
+#[derive(Clone, Copy)]
+pub(crate) struct EvalCtx<'a> {
+    pub(crate) config: &'a ExperimentConfig,
+    pub(crate) store: &'a ProgramStore,
+}
+
 /// Computes the isolated big-only baselines `T_SB` for every app of
 /// `workload` on an all-big machine with `total_cores` cores.
 ///
@@ -134,19 +146,24 @@ pub(crate) fn rep_seed(master: u64, rep: u32) -> u64 {
 /// (`Harness::run_plan`): each baseline depends only on its inputs, so
 /// running it on any thread yields bit-identical results.
 pub(crate) fn compute_baseline(
-    config: &ExperimentConfig,
+    ctx: &EvalCtx<'_>,
     workload: &WorkloadSpec,
     total_cores: usize,
 ) -> Result<Vec<SimDuration>> {
+    let EvalCtx { config, store } = *ctx;
     let machine = MachineConfig::all_big(total_cores);
     let reps = config.replications.max(1);
     let mut t_sb = vec![SimDuration::ZERO; workload.num_apps()];
     for rep in 0..reps {
         let seed = rep_seed(config.seed, rep);
-        let apps = workload.instantiate(seed, config.scale);
-        for (slot, app) in t_sb.iter_mut().zip(apps) {
-            let sim =
-                Simulation::from_apps_with_params(&machine, vec![app], seed, config.sim_params)?;
+        let compiled = store.get_or_compile(workload, seed, config.scale)?;
+        for (slot, app) in t_sb.iter_mut().zip(compiled.apps()) {
+            let sim = Simulation::from_compiled_with_params(
+                &machine,
+                vec![Arc::clone(app)],
+                seed,
+                config.sim_params,
+            )?;
             let outcome = sim.run(&mut CfsScheduler::new(&machine))?;
             *slot += outcome.turnaround(AppId::new(0));
         }
@@ -166,7 +183,7 @@ pub(crate) fn compute_baseline(
 /// evaluate cells on any thread in any order and reproduce the serial
 /// path bit-for-bit.
 pub(crate) fn compute_cell(
-    config: &ExperimentConfig,
+    ctx: &EvalCtx<'_>,
     model: &SpeedupModel,
     t_sb: &[SimDuration],
     workload: &WorkloadSpec,
@@ -174,6 +191,7 @@ pub(crate) fn compute_cell(
     little: usize,
     kind: SchedulerKind,
 ) -> Result<(MixSummary, TelemetryReport)> {
+    let EvalCtx { config, store } = *ctx;
     let config_label = MachineConfig::asymmetric(big, little, CoreOrder::BigFirst).label();
     let reps = config.replications.max(1);
     let mut sums: Vec<SimDuration> = vec![SimDuration::ZERO; workload.num_apps()];
@@ -181,12 +199,13 @@ pub(crate) fn compute_cell(
     let mut telemetry = TelemetryReport::new();
     for rep in 0..reps {
         let seed = rep_seed(config.seed, rep);
+        let compiled = store.get_or_compile(workload, seed, config.scale)?;
         for order in CoreOrder::BOTH {
             let machine = MachineConfig::asymmetric(big, little, order);
             let t0 = std::time::Instant::now();
-            let sim = Simulation::from_apps_with_params(
+            let sim = Simulation::from_compiled_with_params(
                 &machine,
-                workload.instantiate(seed, config.scale),
+                compiled.apps().to_vec(),
                 seed,
                 config.sim_params,
             )?;
@@ -199,6 +218,8 @@ pub(crate) fn compute_cell(
                 (t1 - t0).as_nanos() as u64,
                 (t2 - t1).as_nanos() as u64,
                 outcome.events_processed,
+                outcome.compute_leaves,
+                outcome.compute_events,
             );
             names = outcome.apps.iter().map(|a| a.name.clone()).collect();
             for (sum, app) in sums.iter_mut().zip(&outcome.apps) {
@@ -231,6 +252,10 @@ pub struct Harness {
     /// Decision telemetry per cell, absorbed over the core-order pair and
     /// all replications (so `runs` is `2 × replications`).
     pub(crate) telemetry: HashMap<CellKey, TelemetryReport>,
+    /// Interned compiled workloads, shared by the serial path and every
+    /// `run_plan` worker: each distinct `(workload, seed, scale)` is
+    /// instantiated and compiled once, however many cells replay it.
+    pub(crate) programs: ProgramStore,
 }
 
 impl Harness {
@@ -251,7 +276,14 @@ impl Harness {
             baselines: HashMap::new(),
             cells: HashMap::new(),
             telemetry: HashMap::new(),
+            programs: ProgramStore::new(),
         })
+    }
+
+    /// Compiled-workload interning statistics (hits/misses), for the
+    /// `--bench-json` report.
+    pub fn intern_stats(&self) -> crate::intern::InternStats {
+        self.programs.stats()
     }
 
     /// The speedup model in use.
@@ -271,7 +303,11 @@ impl Harness {
         if let Some(b) = self.baselines.get(&key) {
             return Ok(b.clone());
         }
-        let t_sb = compute_baseline(&self.config, workload, total_cores)?;
+        let ctx = EvalCtx {
+            config: &self.config,
+            store: &self.programs,
+        };
+        let t_sb = compute_baseline(&ctx, workload, total_cores)?;
         self.baselines.insert(key, t_sb.clone());
         Ok(t_sb)
     }
@@ -302,8 +338,11 @@ impl Harness {
 
         let total_cores = big + little;
         let t_sb = self.baselines(workload, total_cores)?;
-        let (cell, telemetry) =
-            compute_cell(&self.config, &self.model, &t_sb, workload, big, little, kind)?;
+        let ctx = EvalCtx {
+            config: &self.config,
+            store: &self.programs,
+        };
+        let (cell, telemetry) = compute_cell(&ctx, &self.model, &t_sb, workload, big, little, kind)?;
         self.telemetry.insert(key.clone(), telemetry);
         self.cells.insert(key, cell.clone());
         Ok(cell)

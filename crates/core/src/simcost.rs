@@ -28,14 +28,27 @@ static BUILD_NS: AtomicU64 = AtomicU64::new(0);
 static RUN_NS: [AtomicU64; KINDS] = [const { AtomicU64::new(0) }; KINDS];
 static EVENTS: [AtomicU64; KINDS] = [const { AtomicU64::new(0) }; KINDS];
 static RUNS: [AtomicU64; KINDS] = [const { AtomicU64::new(0) }; KINDS];
+static LEAVES: [AtomicU64; KINDS] = [const { AtomicU64::new(0) }; KINDS];
+static SEGMENTS: [AtomicU64; KINDS] = [const { AtomicU64::new(0) }; KINDS];
 
-/// Adds one simulation run's costs to the process-wide totals.
-pub(crate) fn record(kind: SchedulerKind, build_ns: u64, run_ns: u64, events: u64) {
+/// Adds one simulation run's costs to the process-wide totals. `leaves`
+/// and `segments` are the run's compute-leaf and compute-event counts
+/// (see [`SimulationOutcome`](amp_sim::SimulationOutcome)).
+pub(crate) fn record(
+    kind: SchedulerKind,
+    build_ns: u64,
+    run_ns: u64,
+    events: u64,
+    leaves: u64,
+    segments: u64,
+) {
     let k = kind as usize;
     BUILD_NS.fetch_add(build_ns, Ordering::Relaxed);
     RUN_NS[k].fetch_add(run_ns, Ordering::Relaxed);
     EVENTS[k].fetch_add(events, Ordering::Relaxed);
     RUNS[k].fetch_add(1, Ordering::Relaxed);
+    LEAVES[k].fetch_add(leaves, Ordering::Relaxed);
+    SEGMENTS[k].fetch_add(segments, Ordering::Relaxed);
 }
 
 /// One policy's accumulated simulation cost.
@@ -49,6 +62,11 @@ pub struct KindCost {
     pub events: u64,
     /// Individual simulation runs recorded.
     pub runs: u64,
+    /// Compute leaves retired (flat `Compute` actions).
+    pub leaves: u64,
+    /// Compute `CoreDone` events armed — merged segments, each covering
+    /// one or more leaves.
+    pub segments: u64,
 }
 
 impl KindCost {
@@ -58,6 +76,25 @@ impl KindCost {
             0.0
         } else {
             self.events as f64 / (self.run_ns as f64 / 1e9)
+        }
+    }
+
+    /// Merged compute segments retired per second of run wall time.
+    pub fn segments_per_sec(&self) -> f64 {
+        if self.run_ns == 0 {
+            0.0
+        } else {
+            self.segments as f64 / (self.run_ns as f64 / 1e9)
+        }
+    }
+
+    /// Compute leaves per armed compute event — how much work segment
+    /// merging folds into each timer event (1.0 = no merging).
+    pub fn merged_op_ratio(&self) -> f64 {
+        if self.segments == 0 {
+            0.0
+        } else {
+            self.leaves as f64 / self.segments as f64
         }
     }
 }
@@ -88,6 +125,16 @@ impl CostSnapshot {
         self.kinds.iter().map(|k| k.runs).sum()
     }
 
+    /// Total compute leaves retired across all policies.
+    pub fn leaves(&self) -> u64 {
+        self.kinds.iter().map(|k| k.leaves).sum()
+    }
+
+    /// Total compute events armed across all policies.
+    pub fn segments(&self) -> u64 {
+        self.kinds.iter().map(|k| k.segments).sum()
+    }
+
     /// Aggregate event-loop throughput in events per second.
     pub fn events_per_sec(&self) -> f64 {
         let run_ns = self.run_ns();
@@ -95,6 +142,26 @@ impl CostSnapshot {
             0.0
         } else {
             self.events() as f64 / (run_ns as f64 / 1e9)
+        }
+    }
+
+    /// Aggregate merged-segment throughput in segments per second.
+    pub fn segments_per_sec(&self) -> f64 {
+        let run_ns = self.run_ns();
+        if run_ns == 0 {
+            0.0
+        } else {
+            self.segments() as f64 / (run_ns as f64 / 1e9)
+        }
+    }
+
+    /// Aggregate compute leaves per armed compute event.
+    pub fn merged_op_ratio(&self) -> f64 {
+        let segments = self.segments();
+        if segments == 0 {
+            0.0
+        } else {
+            self.leaves() as f64 / segments as f64
         }
     }
 }
@@ -109,6 +176,8 @@ pub fn snapshot() -> CostSnapshot {
                 run_ns: RUN_NS[k].load(Ordering::Relaxed),
                 events: EVENTS[k].load(Ordering::Relaxed),
                 runs: RUNS[k].load(Ordering::Relaxed),
+                leaves: LEAVES[k].load(Ordering::Relaxed),
+                segments: SEGMENTS[k].load(Ordering::Relaxed),
             })
             .collect(),
     }
@@ -137,21 +206,33 @@ mod tests {
         // Statics are process-wide and other tests may also record, so
         // assert on deltas.
         let before = snapshot();
-        record(SchedulerKind::Gts, 10, 250, 7);
-        record(SchedulerKind::Gts, 5, 750, 3);
+        record(SchedulerKind::Gts, 10, 250, 7, 40, 8);
+        record(SchedulerKind::Gts, 5, 750, 3, 20, 2);
         let after = snapshot();
         let k = SchedulerKind::Gts as usize;
         assert_eq!(after.build_ns - before.build_ns, 15);
         assert_eq!(after.kinds[k].run_ns - before.kinds[k].run_ns, 1000);
         assert_eq!(after.kinds[k].events - before.kinds[k].events, 10);
         assert_eq!(after.kinds[k].runs - before.kinds[k].runs, 2);
+        assert_eq!(after.kinds[k].leaves - before.kinds[k].leaves, 60);
+        assert_eq!(after.kinds[k].segments - before.kinds[k].segments, 10);
     }
 
     #[test]
     fn throughput_math() {
-        let k = KindCost { name: "x", run_ns: 2_000_000_000, events: 10, runs: 1 };
+        let k = KindCost {
+            name: "x",
+            run_ns: 2_000_000_000,
+            events: 10,
+            runs: 1,
+            leaves: 30,
+            segments: 6,
+        };
         assert!((k.events_per_sec() - 5.0).abs() < 1e-12);
-        let z = KindCost { name: "x", run_ns: 0, events: 0, runs: 0 };
+        assert!((k.segments_per_sec() - 3.0).abs() < 1e-12);
+        assert!((k.merged_op_ratio() - 5.0).abs() < 1e-12);
+        let z = KindCost { name: "x", run_ns: 0, events: 0, runs: 0, leaves: 0, segments: 0 };
         assert_eq!(z.events_per_sec(), 0.0);
+        assert_eq!(z.merged_op_ratio(), 0.0);
     }
 }

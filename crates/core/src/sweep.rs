@@ -16,7 +16,11 @@
 //!
 //! 1. every cell is a pure function of `(ExperimentConfig, SpeedupModel,
 //!    baselines, cell key)` — [`compute_cell`](crate::harness) constructs
-//!    a fresh simulation and scheduler per run;
+//!    a fresh simulation and scheduler per run; the only state shared
+//!    across cells is the [`ProgramStore`](crate::ProgramStore) of
+//!    *immutable* compiled workloads, a pure memo of a deterministic
+//!    compilation (per-thread progress lives in the simulation, never in
+//!    the shared program);
 //! 2. `jobs == 1` executes the plan serially on the calling thread, in
 //!    plan order — exactly the pre-existing serial path;
 //! 3. `jobs >= 2` may complete cells in any order, but [`reduce`]
@@ -36,7 +40,7 @@ use amp_types::{CoreOrder, MachineConfig, Result, SimDuration};
 use amp_workloads::{BenchmarkId, PaperWorkload, WorkloadSpec};
 
 use crate::experiments::CONFIGS;
-use crate::harness::{compute_baseline, compute_cell, CellKey, Harness, SchedulerKind};
+use crate::harness::{compute_baseline, compute_cell, CellKey, EvalCtx, Harness, SchedulerKind};
 
 // ---------------------------------------------------------------------
 // Plan
@@ -356,9 +360,13 @@ impl Harness {
             .filter(|(w, t)| !self.baselines.contains_key(&(w.name().to_string(), *t)))
             .collect();
         let config = self.config.clone();
+        let ctx = EvalCtx {
+            config: &config,
+            store: &self.programs,
+        };
         let baseline_results: Vec<Result<Vec<SimDuration>>> =
             parallel_map(jobs, &baseline_jobs, |(workload, total)| {
-                compute_baseline(&config, workload, *total)
+                compute_baseline(&ctx, workload, *total)
             });
         for ((workload, total), result) in baseline_jobs.iter().zip(baseline_results) {
             self.baselines
@@ -380,7 +388,7 @@ impl Harness {
                     .get(&(cell.workload.name().to_string(), cell.big + cell.little))
                     .expect("phase 1 computed every baseline the plan needs");
                 compute_cell(
-                    &config,
+                    &ctx,
                     &model,
                     t_sb,
                     &cell.workload,

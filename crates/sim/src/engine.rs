@@ -16,6 +16,7 @@
 //! kernel's wakeup-preemption path.
 
 use std::cell::RefCell;
+use std::sync::Arc;
 
 use amp_faults::{FaultKind, FaultPlan};
 use amp_futex::{OpResult, SyncObjects};
@@ -24,7 +25,7 @@ use amp_telemetry::{ClusterDirection, PreemptCause, SchedEvent, Telemetry};
 use amp_types::{
     AppId, CoreId, CoreKind, Error, MachineConfig, Result, SimDuration, SimTime, ThreadId,
 };
-use amp_workloads::{Action, AppSpec, Cursor, Program, Scale, WorkloadSpec};
+use amp_workloads::{Action, AppSpec, CompiledApp, CompiledProgram, Scale, SegPos, WorkloadSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -50,9 +51,19 @@ enum Event {
 struct ThreadState {
     name: String,
     profile: ExecutionProfile,
-    program: Program,
-    cursor: Cursor,
-    /// Remaining big-core-ns of the current compute segment; zero means
+    /// Cached `profile.true_speedup()`, refreshed on `SetProfile` — keeps
+    /// the speedup polynomial off the per-event accounting path.
+    speedup: f64,
+    /// Cached instructions per big-core work nanosecond
+    /// (`2.0 * profile.ipc_big()`), refreshed with `speedup`.
+    insts_per_ns: f64,
+    /// Segment-compiled behaviour; `Arc`-shared with the plan-level
+    /// intern store when the harness built this simulation.
+    program: Arc<CompiledProgram>,
+    /// Position in the compiled stream (the compiled analogue of the
+    /// legacy tree-walking `Cursor`).
+    pos: SegPos,
+    /// Remaining big-core-ns of the current compute leaf; zero means
     /// the next program action must be fetched.
     pending: SimDuration,
     /// When the thread entered the Ready state (valid while Ready).
@@ -81,6 +92,16 @@ struct ThreadState {
     pmu_seq: u64,
 }
 
+/// [`ExecutionProfile::exec_duration`] with the thread's cached
+/// `true_speedup` — identical arithmetic, no polynomial re-evaluation.
+#[inline]
+fn exec_at(speedup: f64, work: SimDuration, kind: CoreKind) -> SimDuration {
+    match kind {
+        CoreKind::Big => work,
+        CoreKind::Little => work.mul_f64(speedup),
+    }
+}
+
 struct CoreState {
     kind: CoreKind,
     freq_ghz: f64,
@@ -101,6 +122,17 @@ struct CoreState {
     /// in [`Simulation::clear_core`] so superseded events never sit in
     /// the queue (the `token` check remains as a backstop).
     pending_done: Option<EventKey>,
+    /// While `run_merged`: the instant the running thread's *current*
+    /// compute leaf completes. The armed `CoreDone` may cover several
+    /// leaves; [`Simulation::account_run`] walks this boundary forward
+    /// leaf by leaf so per-leaf accounting stays identical to the
+    /// one-event-per-leaf engine.
+    leaf_until: SimTime,
+    /// Whether the in-flight `CoreDone` covers a merged multi-leaf run.
+    /// Only ever set at nominal frequency (`freq_ratio == 1.0`), where
+    /// merged retirement is provably exact; throttled cores fall back to
+    /// per-leaf events.
+    run_merged: bool,
     /// CPU time consumed by the running thread since it was dispatched
     /// (passed to [`Scheduler::on_stop`]).
     stint: SimDuration,
@@ -167,6 +199,13 @@ pub struct Simulation {
     in_tick: bool,
     events: EventQueue<Event>,
     events_processed: u64,
+    /// Compute leaves retired — one per `Compute` action the program
+    /// stream yields; independent of event merging.
+    compute_leaves: u64,
+    /// Compute `CoreDone` arming events. With segment merging one event
+    /// can cover many leaves, so `compute_leaves / compute_events` is
+    /// the merged-op ratio.
+    compute_events: u64,
     now: SimTime,
     finished: usize,
 }
@@ -254,6 +293,52 @@ impl Simulation {
         seed: u64,
         params: SimParams,
     ) -> Result<Simulation> {
+        let compiled = apps
+            .iter()
+            .map(|app| CompiledApp::compile(app).map(Arc::new))
+            .collect::<Result<Vec<_>>>()?;
+        Simulation::from_compiled_inner(machine, compiled, arrivals, seed, params)
+    }
+
+    /// Loads pre-compiled applications (see
+    /// [`CompiledApp::compile`], which validates the specs). The compiled
+    /// programs are `Arc`-shared, so a harness can compile a workload
+    /// once and load it into many simulations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if `apps` is empty.
+    pub fn from_compiled(
+        machine: &MachineConfig,
+        apps: Vec<Arc<CompiledApp>>,
+        seed: u64,
+    ) -> Result<Simulation> {
+        Simulation::from_compiled_with_params(machine, apps, seed, SimParams::default())
+    }
+
+    /// Like [`from_compiled`](Simulation::from_compiled) with explicit
+    /// parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if `apps` is empty.
+    pub fn from_compiled_with_params(
+        machine: &MachineConfig,
+        apps: Vec<Arc<CompiledApp>>,
+        seed: u64,
+        params: SimParams,
+    ) -> Result<Simulation> {
+        let arrivals = vec![SimTime::ZERO; apps.len()];
+        Simulation::from_compiled_inner(machine, apps, arrivals, seed, params)
+    }
+
+    fn from_compiled_inner(
+        machine: &MachineConfig,
+        apps: Vec<Arc<CompiledApp>>,
+        arrivals: Vec<SimTime>,
+        seed: u64,
+        params: SimParams,
+    ) -> Result<Simulation> {
         if apps.len() != arrivals.len() {
             return Err(Error::InvalidConfig(
                 "one arrival time per application is required".into(),
@@ -261,9 +346,6 @@ impl Simulation {
         }
         if apps.is_empty() {
             return Err(Error::InvalidConfig("workload has no applications".into()));
-        }
-        for app in &apps {
-            app.validate()?;
         }
         let total_threads: usize = apps.iter().map(|a| a.threads.len()).sum();
         let mut sync = SyncObjects::new(total_threads);
@@ -275,7 +357,7 @@ impl Simulation {
         let mut barrier_map = Vec::new();
         let mut channel_map = Vec::new();
 
-        for (ai, app) in apps.into_iter().enumerate() {
+        for (ai, app) in apps.iter().enumerate() {
             let app_id = AppId::new(ai as u32);
             lock_map.push((0..app.num_locks).map(|_| sync.add_lock()).collect());
             barrier_map.push(
@@ -291,14 +373,16 @@ impl Simulation {
                     .collect(),
             );
             let mut members = Vec::with_capacity(app.threads.len());
-            for spec in app.threads {
+            for spec in &app.threads {
                 let tid = ThreadId::new(threads.len() as u32);
                 members.push(tid);
                 threads.push(ThreadState {
-                    name: spec.name,
+                    name: spec.name.clone(),
                     profile: spec.profile,
-                    program: spec.program,
-                    cursor: Cursor::new(),
+                    speedup: spec.profile.true_speedup(),
+                    insts_per_ns: 2.0 * spec.profile.ipc_big(),
+                    program: Arc::clone(&spec.program),
+                    pos: SegPos::new(),
                     pending: SimDuration::ZERO,
                     ready_since: SimTime::ZERO,
                     blocked_since: SimTime::ZERO,
@@ -335,7 +419,7 @@ impl Simulation {
                     last_core: None,
                 });
             }
-            app_table.push((app.name, members));
+            app_table.push((app.name.clone(), members));
         }
 
         let cores = machine
@@ -353,6 +437,8 @@ impl Simulation {
                 overhead_end: SimTime::ZERO,
                 quantum_end: SimTime::ZERO,
                 pending_done: None,
+                leaf_until: SimTime::ZERO,
+                run_merged: false,
                 stint: SimDuration::ZERO,
                 last_thread: None,
                 need_resched: false,
@@ -391,6 +477,8 @@ impl Simulation {
             in_tick: false,
             events: EventQueue::new(),
             events_processed: 0,
+            compute_leaves: 0,
+            compute_events: 0,
             now: SimTime::ZERO,
             finished: 0,
         })
@@ -699,16 +787,67 @@ impl Simulation {
     /// Charges the on-CPU time since the last accounting point to the
     /// thread. Time inside the overhead window counts as run time (the
     /// core is occupied) but retires no work.
+    ///
+    /// When the core's in-flight event covers a merged multi-leaf run,
+    /// the elapsed interval is split at the precomputed leaf wall
+    /// boundaries (`CoreState::leaf_until`) and each piece is charged
+    /// with exactly the per-leaf arithmetic — same values, same f64
+    /// accumulation order — the one-event-per-leaf engine would have
+    /// used, so merged execution is observably identical.
     fn account_run(&mut self, core: CoreId, tid: ThreadId) {
+        if !self.cores[core.index()].run_merged {
+            self.account_piece(core, tid, self.now);
+            return;
+        }
+        loop {
+            let until = self.cores[core.index()].leaf_until;
+            if self.now < until {
+                // Mid-leaf (tick, preemption, fault): charge the partial
+                // piece and leave the boundary in place.
+                self.account_piece(core, tid, self.now);
+                return;
+            }
+            // The current leaf's wall boundary has passed: retire it
+            // exactly (merging is only armed at nominal frequency, where
+            // the 2 ns snap in `account_piece` provably zeroes `pending`
+            // at the boundary), then step to the next leaf of the run.
+            self.account_piece(core, tid, until);
+            debug_assert!(
+                self.threads[tid.index()].pending.is_zero(),
+                "merged leaf boundary must retire the leaf exactly"
+            );
+            let state = &mut self.threads[tid.index()];
+            match state.program.next_run_leaf(&mut state.pos) {
+                Some(d) => {
+                    state.pending = d;
+                    self.compute_leaves += 1;
+                    let kind = self.cores[core.index()].kind;
+                    let exec = exec_at(self.threads[tid.index()].speedup, d, kind);
+                    self.cores[core.index()].leaf_until = until + exec;
+                }
+                None => {
+                    self.cores[core.index()].run_merged = false;
+                    // Normally `now == until` here; charge any residue
+                    // (a zero-work piece) the legacy engine would have.
+                    self.account_piece(core, tid, self.now);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// One accounting piece: the exact legacy `account_run` body, charged
+    /// up to `upto` instead of `self.now`.
+    fn account_piece(&mut self, core: CoreId, tid: ThreadId, upto: SimTime) {
         let c = &mut self.cores[core.index()];
-        if self.now <= c.acct_from {
+        if upto <= c.acct_from {
             return;
         }
         let from = c.acct_from;
-        c.acct_from = self.now;
-        let elapsed = self.now - from;
-        let work_time = if self.now > c.overhead_end {
-            self.now - from.max(c.overhead_end)
+        c.acct_from = upto;
+        let elapsed = upto - from;
+        let work_time = if upto > c.overhead_end {
+            upto - from.max(c.overhead_end)
         } else {
             SimDuration::ZERO
         };
@@ -726,7 +865,11 @@ impl Simulation {
         if !kind.is_big() {
             state.little_time += elapsed;
         }
-        let mut work = state.profile.work_done(work_time.mul_f64(freq_ratio), kind);
+        let scaled = work_time.mul_f64(freq_ratio);
+        let mut work = match kind {
+            CoreKind::Big => scaled,
+            CoreKind::Little => scaled.div_f64(state.speedup),
+        };
         // Snap rounding drift at segment completion.
         if work + SimDuration::from_nanos(2) >= state.pending {
             work = state.pending;
@@ -734,7 +877,7 @@ impl Simulation {
         state.pending -= work;
         state.work_done += work;
         state.win_cycles += work_time.as_nanos() as f64 * freq;
-        state.win_insts += state.profile.insts_for_work(work);
+        state.win_insts += work.as_nanos() as f64 * state.insts_per_ns;
         state.win_kind = kind;
     }
 
@@ -743,13 +886,10 @@ impl Simulation {
     fn continue_thread(&mut self, core: CoreId, tid: ThreadId, sched: &mut dyn Scheduler) {
         loop {
             if self.threads[tid.index()].pending.is_zero() {
-                // Need the next action from the program.
+                // Need the next action from the compiled stream.
                 let action = {
                     let state = &mut self.threads[tid.index()];
-                    let program = std::mem::take(&mut state.program);
-                    let action = state.cursor.next(&program);
-                    state.program = program;
-                    action
+                    state.program.next(&mut state.pos)
                 };
                 match action {
                     None => {
@@ -758,12 +898,16 @@ impl Simulation {
                     }
                     Some(Action::Compute(d)) => {
                         self.threads[tid.index()].pending = d;
+                        self.compute_leaves += 1;
                         // fall through to the run-scheduling branch
                     }
                     Some(Action::SetProfile(profile)) => {
                         // Instant phase change: subsequent compute (and
                         // counter synthesis) uses the new characteristics.
-                        self.threads[tid.index()].profile = profile;
+                        let state = &mut self.threads[tid.index()];
+                        state.profile = profile;
+                        state.speedup = profile.true_speedup();
+                        state.insts_per_ns = 2.0 * profile.ipc_big();
                     }
                     Some(sync_action) => {
                         let result = self.apply_sync(tid, sync_action);
@@ -791,19 +935,47 @@ impl Simulation {
                     self.deschedule(core, tid, reason, sched);
                     return;
                 }
-                // Schedule the next segment boundary.
+                // Schedule the next segment boundary. At nominal
+                // frequency the whole remaining run is armed as one
+                // event (leaf boundaries are reconstructed exactly by
+                // `account_run`); a throttled core re-times each leaf
+                // individually, since fractional rates round per leaf.
                 let state = &self.threads[tid.index()];
                 let kind = self.cores[core.index()].kind;
-                let seg = state
-                    .profile
-                    .exec_duration(state.pending, kind)
-                    .div_f64(self.cores[core.index()].freq_ratio);
+                let freq_ratio = self.cores[core.index()].freq_ratio;
+                let exec_pending = exec_at(state.speedup, state.pending, kind);
                 let until_quantum = self.cores[core.index()].quantum_end - self.now;
-                let dur = seg.min(until_quantum);
+                // A merged event always lands on a leaf boundary strictly
+                // before both the run end and the quantum expiry, so the
+                // events at which anything observable happens (a sync
+                // action, thread exit, or quantum deschedule) are armed
+                // individually — entering the queue at the same instant,
+                // and hence the same FIFO tie-break position, as the
+                // per-leaf engine's events.
+                let (dur, merged) = if self.params.merge_segments && freq_ratio == 1.0 {
+                    match state.program.merge_horizon(
+                        &state.pos,
+                        kind,
+                        state.speedup,
+                        exec_pending,
+                        until_quantum,
+                    ) {
+                        Some(b) => (b, true),
+                        None => (exec_pending.min(until_quantum), false),
+                    }
+                } else {
+                    (exec_pending.div_f64(freq_ratio).min(until_quantum), false)
+                };
                 let token = self.cores[core.index()].token;
                 debug_assert!(self.cores[core.index()].acct_from == self.now);
                 let key = self.push_event(self.now + dur, Event::CoreDone { core, token });
-                self.cores[core.index()].pending_done = Some(key);
+                let c = &mut self.cores[core.index()];
+                c.pending_done = Some(key);
+                c.run_merged = merged;
+                if merged {
+                    c.leaf_until = self.now + exec_pending;
+                }
+                self.compute_events += 1;
                 return;
             }
         }
@@ -967,6 +1139,7 @@ impl Simulation {
         let c = &mut self.cores[core.index()];
         c.token += 1;
         c.need_resched = false;
+        c.run_merged = false;
         c.stint = SimDuration::ZERO;
         c.last_thread = Some(tid);
         let pending = c.pending_done.take();
@@ -1106,6 +1279,7 @@ impl Simulation {
         let c = &mut self.cores[core.index()];
         c.stint = SimDuration::ZERO;
         c.need_resched = false;
+        c.run_merged = false;
         c.acct_from = self.now;
         c.overhead_end = self.now + overhead;
         c.quantum_end = self.now + overhead + slice;
@@ -1167,7 +1341,7 @@ impl Simulation {
                 state.win_insts = 0.0;
                 // Score the policy's latest speedup prediction against the
                 // profile's ground truth for the window that just closed.
-                let actual = state.profile.true_speedup();
+                let actual = state.speedup;
                 self.telemetry.borrow_mut().observe_actual_speedup(tid, actual);
             }
             // Blocking window from the futex ledger.
@@ -1307,6 +1481,8 @@ impl Simulation {
             context_switches: self.cores.iter().map(|c| c.switches).sum(),
             migrations: self.threads.iter().map(|t| t.migrations).sum(),
             events_processed: self.events_processed,
+            compute_leaves: self.compute_leaves,
+            compute_events: self.compute_events,
             core_busy: self.cores.iter().map(|c| c.busy).collect(),
             energy: crate::outcome::EnergyReport {
                 per_core_joules,

@@ -154,6 +154,14 @@ pub struct SimulationOutcome {
     /// Discrete events processed by the engine loop (the denominator of
     /// the events/sec throughput metric in `BENCH_*.json`).
     pub events_processed: u64,
+    /// Compute leaves retired — one per flat `Compute` action in the
+    /// workload, independent of how events were merged.
+    pub compute_leaves: u64,
+    /// Compute `CoreDone` events armed. With segment merging
+    /// (`SimParams::merge_segments`) one event can cover many leaves;
+    /// `compute_leaves / compute_events` is the merged-op ratio reported
+    /// in `BENCH_*.json`.
+    pub compute_events: u64,
     /// Per-core busy time, indexed by core id.
     pub core_busy: Vec<SimDuration>,
     /// Energy accounting under the configured power model.

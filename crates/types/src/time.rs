@@ -74,6 +74,25 @@ impl SimTime {
     }
 }
 
+/// Round-half-away-from-zero to `u64`, bit-identical to
+/// `x.round() as u64` for non-negative inputs, without the libm `round`
+/// call on the hot path (the x86-64 baseline has no rounding
+/// instruction, so `f64::round` compiles to a function call).
+///
+/// Below 2^53 both the truncation and the fractional remainder are
+/// exact, so the half-away comparison reproduces `round` exactly;
+/// larger (or non-finite) values — which already have no fractional
+/// part, and never occur for simulated durations — take the slow path.
+#[inline]
+fn round_nonneg(x: f64) -> u64 {
+    if x < 9_007_199_254_740_992.0 {
+        let t = x as u64;
+        t + u64::from(x - t as f64 >= 0.5)
+    } else {
+        x.round() as u64
+    }
+}
+
 impl SimDuration {
     /// The empty duration.
     pub const ZERO: SimDuration = SimDuration(0);
@@ -120,7 +139,13 @@ impl SimDuration {
             factor.is_finite() && factor >= 0.0,
             "duration scale factor must be finite and non-negative, got {factor}"
         );
-        SimDuration((self.0 as f64 * factor).round() as u64)
+        // Identity scale is exact below 2^53 (`as f64` is lossless there,
+        // and rounding an integral value is the identity) — and common:
+        // nominal-frequency cores scale by 1.0 on every accounting piece.
+        if factor == 1.0 && self.0 < 1 << 53 {
+            return self;
+        }
+        SimDuration(round_nonneg(self.0 as f64 * factor))
     }
 
     /// Divides the duration by a positive factor, rounding to nearest.
@@ -133,7 +158,10 @@ impl SimDuration {
             factor.is_finite() && factor > 0.0,
             "duration divisor must be finite and positive, got {factor}"
         );
-        SimDuration((self.0 as f64 / factor).round() as u64)
+        if factor == 1.0 && self.0 < 1 << 53 {
+            return self;
+        }
+        SimDuration(round_nonneg(self.0 as f64 / factor))
     }
 
     /// Subtraction saturating at zero.
@@ -284,6 +312,41 @@ mod tests {
         let d = SimDuration::from_nanos(10);
         assert_eq!(d.mul_f64(1.26), SimDuration::from_nanos(13));
         assert_eq!(d.div_f64(4.0), SimDuration::from_nanos(3)); // 2.5 rounds to 3 (round half away)
+    }
+
+    #[test]
+    fn fast_rounding_matches_f64_round_exactly() {
+        // The hot-path rounding must be bit-identical to `f64::round`:
+        // exact ties, near-tie neighbours (including the classic
+        // 0.49999999999999994, where naive `floor(x + 0.5)` fails), huge
+        // values past 2^53, and a pseudo-random sweep.
+        let cases = [
+            0.0,
+            0.25,
+            0.5,
+            0.49999999999999994,
+            0.5000000000000001,
+            1.5,
+            2.5,
+            1e9 + 0.5,
+            9_007_199_254_740_991.0,
+            9_007_199_254_740_992.0,
+            1e18,
+            f64::INFINITY,
+        ];
+        for &x in &cases {
+            assert_eq!(round_nonneg(x), x.round() as u64, "case {x}");
+        }
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        for _ in 0..10_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let ns = state >> 20; // ~44-bit nanosecond magnitudes
+            let factor = (state % 10_000) as f64 / 1_000.0 + 0.0001;
+            let x = ns as f64 * factor;
+            assert_eq!(round_nonneg(x), x.round() as u64, "x = {x}");
+            let y = ns as f64 / factor;
+            assert_eq!(round_nonneg(y), y.round() as u64, "y = {y}");
+        }
     }
 
     #[test]

@@ -36,12 +36,14 @@
 
 mod benchmarks;
 mod builder;
+pub mod compiled;
 mod compositions;
 mod program;
 pub mod skeletons;
 mod spec;
 
 pub use benchmarks::{BenchmarkId, BenchmarkInfo, CommCompRatio, SyncRate};
+pub use compiled::{CompiledApp, CompiledProgram, CompiledThread, CompiledWorkload, SegPos};
 pub use builder::{AppBuilder, LoopBuilder, ThreadBuilder};
 pub use compositions::{PaperWorkload, WorkloadClass};
 pub use program::{Action, Cursor, Op, Program};

@@ -87,15 +87,45 @@ pub enum Action {
 /// assert_eq!(actions.len(), 4);
 /// assert_eq!(actions[1], Action::Barrier(BarrierId::new(0)));
 /// ```
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     ops: Vec<Op>,
+    /// Cached [`total_compute`](Program::total_compute); the op tree is
+    /// immutable after construction, so one walk at build time serves
+    /// every harness/report query.
+    total_compute: SimDuration,
+    /// Cached [`flat_len`](Program::flat_len).
+    flat_len: u64,
 }
 
 impl Program {
     /// Wraps a top-level op list.
     pub fn new(ops: Vec<Op>) -> Program {
-        Program { ops }
+        fn walk(ops: &[Op]) -> (SimDuration, u64) {
+            let mut compute = SimDuration::ZERO;
+            let mut len = 0u64;
+            for op in ops {
+                match op {
+                    Op::Compute(d) => {
+                        compute += *d;
+                        len += 1;
+                    }
+                    Op::Loop { count, body } => {
+                        let (c, l) = walk(body);
+                        compute += c * u64::from(*count);
+                        len += l * u64::from(*count);
+                    }
+                    _ => len += 1,
+                }
+            }
+            (compute, len)
+        }
+        let (total_compute, flat_len) = walk(&ops);
+        Program {
+            ops,
+            total_compute,
+            flat_len,
+        }
     }
 
     /// The top-level ops.
@@ -103,33 +133,16 @@ impl Program {
         &self.ops
     }
 
-    /// Total big-core compute time, loops expanded (static analysis).
+    /// Total big-core compute time, loops expanded. Precomputed at
+    /// construction; O(1).
     pub fn total_compute(&self) -> SimDuration {
-        fn walk(ops: &[Op]) -> SimDuration {
-            let mut total = SimDuration::ZERO;
-            for op in ops {
-                match op {
-                    Op::Compute(d) => total += *d,
-                    Op::Loop { count, body } => total += walk(body) * u64::from(*count),
-                    _ => {}
-                }
-            }
-            total
-        }
-        walk(&self.ops)
+        self.total_compute
     }
 
-    /// Number of flat actions the program expands to.
+    /// Number of flat actions the program expands to. Precomputed at
+    /// construction; O(1).
     pub fn flat_len(&self) -> u64 {
-        fn walk(ops: &[Op]) -> u64 {
-            ops.iter()
-                .map(|op| match op {
-                    Op::Loop { count, body } => u64::from(*count) * walk(body),
-                    _ => 1,
-                })
-                .sum()
-        }
-        walk(&self.ops)
+        self.flat_len
     }
 
     /// Counts flat occurrences of each action category:
@@ -199,6 +212,12 @@ impl Program {
             Ok(())
         }
         walk(&self.ops)
+    }
+}
+
+impl Default for Program {
+    fn default() -> Self {
+        Program::new(Vec::new())
     }
 }
 
